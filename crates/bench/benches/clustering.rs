@@ -1,0 +1,75 @@
+//! Benchmarks of the classification layer: k-means, hierarchical
+//! agglomerative clustering, and the cluster-count variation metrics —
+//! including the linkage and seeding ablations called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use entromine::cluster::{agglomerative, variation, KMeans, Linkage, Seeding};
+use entromine::linalg::Mat;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Synthetic anomaly points: unit-norm 4-vectors around a handful of
+/// archetype directions (like the paper's entropy-space clusters).
+fn anomaly_points(n: usize, seed: u64) -> Mat {
+    let archetypes = [
+        [-0.5, -0.5, -0.5, -0.5], // alpha
+        [0.0, 0.9, 0.3, -0.3],    // network scan
+        [-0.3, 0.0, -0.4, 0.85],  // port scan
+        [0.9, -0.2, -0.35, -0.1], // ddos
+        [0.5, 0.3, 0.5, 0.25],    // outage
+    ];
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Mat::from_fn(n, 4, |i, j| {
+        let a = archetypes[i % archetypes.len()];
+        a[j] + 0.05 * (rng.random::<f64>() - 0.5)
+    })
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    for n in [200usize, 1000] {
+        let points = anomaly_points(n, 1);
+        group.bench_with_input(BenchmarkId::new("random_seeding_k10", n), &points, |b, p| {
+            b.iter(|| black_box(KMeans::new(10).with_seed(7).fit(black_box(p))));
+        });
+        group.bench_with_input(BenchmarkId::new("plusplus_k10", n), &points, |b, p| {
+            b.iter(|| {
+                black_box(
+                    KMeans::new(10)
+                        .with_seed(7)
+                        .with_seeding(Seeding::PlusPlus)
+                        .fit(black_box(p)),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchical");
+    group.sample_size(10);
+    for n in [200usize, 500] {
+        let points = anomaly_points(n, 2);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{linkage:?}_k10"), n),
+                &points,
+                |b, p| b.iter(|| black_box(agglomerative(black_box(p), 10, linkage))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_variation(c: &mut Criterion) {
+    let points = anomaly_points(500, 3);
+    let clustering = agglomerative(&points, 10, Linkage::Single);
+    c.bench_function("trace_w_trace_b_500pts", |b| {
+        b.iter(|| black_box(variation(black_box(&points), black_box(&clustering))));
+    });
+}
+
+criterion_group!(benches, bench_kmeans, bench_hierarchical, bench_variation);
+criterion_main!(benches);

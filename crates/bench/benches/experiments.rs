@@ -1,0 +1,189 @@
+//! Per-experiment benchmarks: one group per table/figure of the paper,
+//! timing the core computation its repro binary performs (on small
+//! fixtures — the binaries themselves run the full-size versions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use entromine::cluster::{variation_curve, CurveAlgorithm, Linkage};
+use entromine::entropy::Feature;
+use entromine::net::OdPair;
+use entromine::synth::anomaly::anomaly_packets;
+use entromine::synth::traces::sampled_attack_packets;
+use entromine::synth::{AnomalyLabel, TraceKind};
+use entromine::{anomaly_point_matrix, ClassifierConfig, ClusterAlgorithm, Diagnoser};
+use entromine_bench::{small_abilene, small_abilene_with_anomalies};
+use std::hint::black_box;
+
+/// Figure 1: rank-ordered feature histograms, normal vs anomalous bin.
+fn bench_fig1(c: &mut Criterion) {
+    let dataset = small_abilene(31);
+    c.bench_function("fig1_rank_ordered_histograms", |b| {
+        b.iter(|| {
+            let acc = dataset.net.baseline_cell(30, 5);
+            let ports = acc.histogram(Feature::DstPort).rank_ordered_counts();
+            let addrs = acc.histogram(Feature::DstIp).rank_ordered_counts();
+            black_box((ports, addrs))
+        });
+    });
+}
+
+/// Figure 2: volume and entropy timeseries extraction for one OD flow.
+fn bench_fig2(c: &mut Criterion) {
+    let dataset = small_abilene(32);
+    c.bench_function("fig2_timeseries_extraction", |b| {
+        b.iter(|| {
+            let h_ip = dataset.tensor.series(5, Feature::DstIp);
+            let h_port = dataset.tensor.series(5, Feature::DstPort);
+            let bytes = dataset.volumes.bytes().col(5);
+            black_box((h_ip, h_port, bytes))
+        });
+    });
+}
+
+/// Figure 4 / Table 2: full fit + diagnose over the dataset.
+fn bench_fig4_table2(c: &mut Criterion) {
+    let dataset = small_abilene_with_anomalies(33);
+    let mut group = c.benchmark_group("fig4_table2");
+    group.sample_size(10);
+    group.bench_function("fit_and_diagnose", |b| {
+        b.iter(|| {
+            let fitted = Diagnoser::default().fit(black_box(&dataset)).expect("fit");
+            black_box(fitted.diagnose(&dataset).expect("diagnose"))
+        });
+    });
+    let fitted = Diagnoser::default().fit(&dataset).expect("fit");
+    group.bench_function("spe_series_only", |b| {
+        b.iter(|| black_box(fitted.spe_series(&dataset).expect("series")));
+    });
+    group.finish();
+}
+
+/// Figure 5: one what-if trace injection + scoring.
+fn bench_fig5(c: &mut Criterion) {
+    let dataset = small_abilene(34);
+    let fitted = Diagnoser::default().fit(&dataset).expect("fit");
+    let pkts = sampled_attack_packets(
+        TraceKind::WormScan,
+        dataset.net.plan(),
+        OdPair::new(2, 7),
+        150,
+        30 * 300,
+        9,
+    );
+    let flow = dataset.net.indexer().index(OdPair::new(2, 7));
+    c.bench_function("fig5_single_injection_eval", |b| {
+        b.iter(|| {
+            let what = dataset.whatif_rows(30, &[(flow, &pkts)]);
+            black_box(fitted.entropy_model().spe(&what.entropy).expect("spe"))
+        });
+    });
+}
+
+/// Figure 6: a k-flow DDOS injection + scoring.
+fn bench_fig6(c: &mut Criterion) {
+    let dataset = small_abilene(35);
+    let fitted = Diagnoser::default().fit(&dataset).expect("fit");
+    let k = 5usize;
+    let packets_per_flow: Vec<Vec<_>> = (0..k)
+        .map(|o| {
+            sampled_attack_packets(
+                TraceKind::DosMulti,
+                dataset.net.plan(),
+                OdPair::new(o, 9),
+                80,
+                30 * 300,
+                o as u64,
+            )
+        })
+        .collect();
+    let injections: Vec<(usize, &[_])> = (0..k)
+        .map(|o| {
+            (
+                dataset.net.indexer().index(OdPair::new(o, 9)),
+                packets_per_flow[o].as_slice(),
+            )
+        })
+        .collect();
+    c.bench_function("fig6_five_flow_injection_eval", |b| {
+        b.iter(|| {
+            let what = dataset.whatif_rows(30, &injections);
+            black_box(fitted.entropy_model().spe(&what.entropy).expect("spe"))
+        });
+    });
+}
+
+/// Figure 7 / Tables 6–8: clustering detected anomalies.
+fn bench_fig7_tables(c: &mut Criterion) {
+    let dataset = small_abilene_with_anomalies(36);
+    let fitted = Diagnoser::default().fit(&dataset).expect("fit");
+    let report = fitted.diagnose(&dataset).expect("diagnose");
+    let (points, _) = anomaly_point_matrix(&report);
+    if points.rows() < 4 {
+        // Not enough anomalies on this fixture to cluster meaningfully;
+        // keep the bench suite robust rather than panicking.
+        return;
+    }
+    let k = 3.min(points.rows());
+    c.bench_function("fig7_cluster_known_anomalies", |b| {
+        b.iter(|| {
+            black_box(
+                ClassifierConfig {
+                    k,
+                    algorithm: ClusterAlgorithm::Hierarchical(Linkage::Single),
+                }
+                .classify(black_box(&points))
+                .expect("classify"),
+            )
+        });
+    });
+}
+
+/// Figure 10: the trace(W)/trace(B) curve sweep.
+fn bench_fig10(c: &mut Criterion) {
+    let dataset = small_abilene_with_anomalies(37);
+    let fitted = Diagnoser::default().fit(&dataset).expect("fit");
+    let report = fitted.diagnose(&dataset).expect("diagnose");
+    let (points, _) = anomaly_point_matrix(&report);
+    if points.rows() < 8 {
+        return;
+    }
+    let max_k = 6.min(points.rows());
+    c.bench_function("fig10_variation_curve", |b| {
+        b.iter(|| {
+            black_box(variation_curve(
+                black_box(&points),
+                2..=max_k,
+                CurveAlgorithm::Hierarchical(Linkage::Average),
+            ))
+        });
+    });
+}
+
+/// Table 5: anomaly packet synthesis + thinning arithmetic.
+fn bench_table5(c: &mut Criterion) {
+    let dataset = small_abilene(38);
+    c.bench_function("table5_anomaly_packet_synthesis_1k", |b| {
+        b.iter(|| {
+            black_box(anomaly_packets(
+                AnomalyLabel::NetworkScan,
+                dataset.net.plan(),
+                OdPair::new(1, 6),
+                1000,
+                0,
+                5,
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2,
+    bench_fig4_table2,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7_tables,
+    bench_fig10,
+    bench_table5
+);
+criterion_main!(benches);

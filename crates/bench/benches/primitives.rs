@@ -1,0 +1,130 @@
+//! Benchmarks of the measurement-plane primitives: histograms, entropy,
+//! sampling, routing lookups, and the synthetic samplers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use entromine::entropy::{sample_entropy, BinAccumulator, FeatureHistogram};
+use entromine::net::sample::PeriodicSampler;
+use entromine::net::{AddressPlan, Ipv4, PacketHeader, Topology};
+use entromine::synth::distr::{poisson, AliasTable};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn packets(n: usize, seed: u64) -> Vec<PacketHeader> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            PacketHeader::tcp(
+                Ipv4(rng.random::<u32>() % 4096),
+                rng.random_range(1024..=65535),
+                Ipv4(rng.random::<u32>() % 64),
+                *[80u16, 443, 53].get(rng.random_range(0..3)).unwrap(),
+                576,
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+fn bench_histograms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram");
+    for n in [1_000usize, 10_000] {
+        let pkts = packets(n, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("accumulate_4_features", n), &pkts, |b, pkts| {
+            b.iter(|| {
+                let mut acc = BinAccumulator::new();
+                acc.add_packets(black_box(pkts));
+                black_box(acc.summarize())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entropy");
+    for distinct in [100u32, 10_000] {
+        let mut hist = FeatureHistogram::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100_000 {
+            hist.add(rng.random::<u32>() % distinct);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("sample_entropy", distinct),
+            &hist,
+            |b, h| b.iter(|| black_box(sample_entropy(black_box(h)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let pkts = packets(100_000, 5);
+    c.bench_function("periodic_sampler_1_in_100_over_100k", |b| {
+        b.iter(|| {
+            let mut s = PeriodicSampler::new(100);
+            black_box(s.sample(black_box(&pkts)))
+        });
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = Topology::geant();
+    let plan = AddressPlan::standard(&topo);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let addrs: Vec<Ipv4> = (0..10_000).map(|_| plan.host(rng.random_range(0..22), rng.random_range(0..100_000))).collect();
+    c.bench_function("lpm_lookup_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &a in &addrs {
+                if plan.resolve(black_box(a)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    let table = AliasTable::new(&(1..=64).map(|i| 1.0 / i as f64).collect::<Vec<_>>());
+    group.bench_function("alias_draw_10k", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                acc += table.sample(&mut rng);
+            }
+            black_box(acc)
+        });
+    });
+    for lambda in [5.0f64, 5_000.0] {
+        group.bench_with_input(
+            BenchmarkId::new("poisson_1k_draws", lambda as u64),
+            &lambda,
+            |b, &l| {
+                let mut rng = SmallRng::seed_from_u64(2);
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for _ in 0..1_000 {
+                        acc += poisson(&mut rng, l);
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_histograms,
+    bench_entropy,
+    bench_sampling,
+    bench_routing,
+    bench_samplers
+);
+criterion_main!(benches);

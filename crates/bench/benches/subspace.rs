@@ -1,0 +1,61 @@
+//! Benchmarks of the numerical core: eigendecomposition, model fitting,
+//! per-row scoring, and multi-attribute identification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use entromine::linalg::{sym_eigen, Mat};
+use entromine::subspace::{DimSelection, MultiwayModel, SubspaceModel};
+use entromine_bench::small_abilene;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_psd(n: usize, seed: u64) -> Mat {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let b = Mat::from_fn(n, n / 2 + 1, |_, _| rng.random::<f64>() - 0.5);
+    b.matmul(&b.transpose()).expect("shapes")
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sym_eigen");
+    group.sample_size(10);
+    // 121 = Abilene volume matrix width; 484 = Abilene unfolded entropy.
+    for n in [121usize, 484] {
+        let a = random_psd(n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| black_box(sym_eigen(black_box(a)).expect("eigen")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit_and_score(c: &mut Criterion) {
+    let dataset = small_abilene(21);
+    let mut group = c.benchmark_group("subspace_model");
+    group.sample_size(10);
+    group.bench_function("fit_volume_121_cols", |b| {
+        b.iter(|| {
+            black_box(
+                SubspaceModel::fit(dataset.volumes.packets(), DimSelection::Fixed(10))
+                    .expect("fit"),
+            )
+        });
+    });
+    group.bench_function("fit_multiway_484_cols", |b| {
+        b.iter(|| {
+            black_box(MultiwayModel::fit(&dataset.tensor, DimSelection::Fixed(10)).expect("fit"))
+        });
+    });
+
+    let model = MultiwayModel::fit(&dataset.tensor, DimSelection::Fixed(10)).expect("fit");
+    let row = dataset.tensor.unfolded_row(30);
+    group.bench_function("spe_one_row_484", |b| {
+        b.iter(|| black_box(model.spe(black_box(&row)).expect("spe")));
+    });
+    group.bench_function("identify_one_row_484", |b| {
+        b.iter(|| black_box(model.identify(black_box(&row), 0.5, 3).expect("identify")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eigen, bench_fit_and_score);
+criterion_main!(benches);

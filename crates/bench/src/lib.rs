@@ -1,0 +1,54 @@
+//! Benchmark support crate.
+//!
+//! The Criterion benchmarks live under `benches/`; this library provides
+//! the tiny shared fixtures they use (pre-generated datasets sized so a
+//! bench iteration is milliseconds, not minutes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use entromine::net::Topology;
+use entromine::synth::{Dataset, DatasetConfig, Schedule, SyntheticNetwork};
+
+/// A small Abilene-shaped dataset fixture: 6 hours of bins at reduced
+/// traffic scale. Deterministic for a given seed.
+pub fn small_abilene(seed: u64) -> Dataset {
+    let cfg = DatasetConfig {
+        seed,
+        n_bins: 72,
+        sample_rate: 100,
+        traffic_scale: 0.05,
+        rate_noise: 0.02,
+        anonymize: false,
+    };
+    Dataset::clean(Topology::abilene(), cfg)
+}
+
+/// Like [`small_abilene`] but with a mixed anomaly schedule injected.
+pub fn small_abilene_with_anomalies(seed: u64) -> Dataset {
+    let cfg = DatasetConfig {
+        seed,
+        n_bins: 72,
+        sample_rate: 100,
+        traffic_scale: 0.05,
+        rate_noise: 0.02,
+        anonymize: false,
+    };
+    let net = SyntheticNetwork::new(Topology::abilene(), cfg.clone());
+    let events = Schedule::uniform(seed ^ 0xBEEF, 1).materialize(&net);
+    Dataset::generate(Topology::abilene(), cfg, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let d = small_abilene(1);
+        assert_eq!(d.n_flows(), 121);
+        assert_eq!(d.n_bins(), 72);
+        let d = small_abilene_with_anomalies(1);
+        assert!(!d.truth.is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Hierarchical agglomerative clustering.
+//!
+//! The paper (§4.3): "it begins with each data point belonging to its own
+//! cluster. The algorithm then joins the nearest two points to form new
+//! clusters ... until one cluster contains all variables (or we have k
+//! clusters). The joining procedure is based on nearest-neighbors Euclidean
+//! distance" — i.e. single linkage, which is the default here. Complete and
+//! average linkage are provided for the ablation benches; all three use the
+//! Lance–Williams recurrence to update inter-cluster distances after each
+//! merge.
+
+use crate::Clustering;
+use entromine_linalg::Mat;
+
+/// Inter-cluster distance definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Linkage {
+    /// Nearest-neighbour distance (the paper's joining rule).
+    #[default]
+    Single,
+    /// Farthest-neighbour distance.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+/// Clusters the rows of `points` into `k` clusters bottom-up.
+///
+/// Runs in `O(n^2)` memory and `O(n^2 · n_merges)` time with cached row
+/// minima — comfortably fast for the paper's anomaly counts (hundreds to a
+/// few thousand points).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n` (with `n` the number of points).
+pub fn agglomerative(points: &Mat, k: usize, linkage: Linkage) -> Clustering {
+    let n = points.rows();
+    assert!(k > 0, "k must be positive");
+    assert!(k <= n, "cannot form {k} clusters from {n} points");
+
+    // Pairwise distance matrix (Euclidean, not squared: Lance–Williams for
+    // single/complete linkage is exact on plain distances).
+    let mut dist = vec![f64::INFINITY; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = crate::dist_sq(points.row(i), points.row(j)).sqrt();
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+
+    // active[i]: cluster i still exists; size[i]: its cardinality;
+    // membership tracked through a representative forest.
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<usize> = vec![1; n];
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    let mut clusters = n;
+    while clusters > k {
+        // Find the closest active pair. A full scan is O(n^2); cached row
+        // minima would shave a constant factor but n here is small.
+        let mut best = (0usize, 0usize, f64::INFINITY);
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !active[j] {
+                    continue;
+                }
+                let d = dist[i * n + j];
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (a, b, _) = best;
+        debug_assert!(active[a] && active[b]);
+
+        // Merge b into a; update distances by Lance–Williams.
+        for m in 0..n {
+            if !active[m] || m == a || m == b {
+                continue;
+            }
+            let dam = dist[a * n + m];
+            let dbm = dist[b * n + m];
+            let new_d = match linkage {
+                Linkage::Single => dam.min(dbm),
+                Linkage::Complete => dam.max(dbm),
+                Linkage::Average => {
+                    let (sa, sb) = (size[a] as f64, size[b] as f64);
+                    (sa * dam + sb * dbm) / (sa + sb)
+                }
+            };
+            dist[a * n + m] = new_d;
+            dist[m * n + a] = new_d;
+        }
+        active[b] = false;
+        parent[b] = a;
+        size[a] += size[b];
+        clusters -= 1;
+    }
+
+    // Resolve representatives and compact to 0..k labels.
+    fn find(parent: &[usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            i = parent[i];
+        }
+        i
+    }
+    let mut label_of_rep: Vec<Option<usize>> = vec![None; n];
+    let mut next = 0usize;
+    let mut assignments = vec![0usize; n];
+    for i in 0..n {
+        let rep = find(&parent, i);
+        let label = *label_of_rep[rep].get_or_insert_with(|| {
+            let l = next;
+            next += 1;
+            l
+        });
+        assignments[i] = label;
+    }
+    debug_assert_eq!(next, k);
+
+    let mut clustering = Clustering {
+        k,
+        assignments,
+        centers: Mat::zeros(k, points.cols()),
+    };
+    clustering.recompute_centers(points);
+    clustering
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Mat, Vec<usize>) {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut truth = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let offsets = [(0.1, 0.2), (-0.2, 0.1), (0.3, -0.1), (-0.1, -0.3)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for &(dx, dy) in &offsets {
+                rows.push(vec![cx + dx, cy + dy]);
+                truth.push(c);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Mat::from_rows(&refs), truth)
+    }
+
+    fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+        let n = a.len();
+        let mut agree = 0;
+        let mut total = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if (a[i] == a[j]) == (b[i] == b[j]) {
+                    agree += 1;
+                }
+                total += 1;
+            }
+        }
+        agree as f64 / total as f64
+    }
+
+    #[test]
+    fn all_linkages_recover_blobs() {
+        let (points, truth) = blobs();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let c = agglomerative(&points, 3, linkage);
+            assert_eq!(
+                rand_index(&c.assignments, &truth),
+                1.0,
+                "linkage {linkage:?} failed"
+            );
+        }
+    }
+
+    #[test]
+    fn k_equals_n_is_singletons() {
+        let (points, _) = blobs();
+        let n = points.rows();
+        let c = agglomerative(&points, n, Linkage::Single);
+        let mut sorted = c.assignments.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), n);
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let (points, _) = blobs();
+        let c = agglomerative(&points, 1, Linkage::Average);
+        assert!(c.assignments.iter().all(|&a| a == 0));
+        assert_eq!(c.sizes(), vec![points.rows()]);
+    }
+
+    #[test]
+    fn single_linkage_chains_bridge_points() {
+        // Two tight pairs plus a chain of stepping stones between them:
+        // single linkage follows the chain (its hallmark), complete linkage
+        // refuses to.
+        let points = Mat::from_rows(&[
+            &[0.0, 0.0],
+            &[0.5, 0.0],
+            // chain
+            &[2.0, 0.0],
+            &[3.5, 0.0],
+            &[5.0, 0.0],
+            // far pair
+            &[6.5, 0.0],
+            &[7.0, 0.0],
+            // outlier far away
+            &[0.0, 50.0],
+        ]);
+        let single = agglomerative(&points, 2, Linkage::Single);
+        // Single linkage: everything on the x-axis chains into one cluster;
+        // the outlier is alone.
+        assert_eq!(single.assignments[0], single.assignments[6]);
+        assert_ne!(single.assignments[0], single.assignments[7]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (points, _) = blobs();
+        let a = agglomerative(&points, 3, Linkage::Average);
+        let b = agglomerative(&points, 3, Linkage::Average);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn two_points() {
+        let points = Mat::from_rows(&[&[0.0], &[1.0]]);
+        let c = agglomerative(&points, 1, Linkage::Single);
+        assert_eq!(c.assignments, vec![0, 0]);
+        let c2 = agglomerative(&points, 2, Linkage::Single);
+        assert_ne!(c2.assignments[0], c2.assignments[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot form")]
+    fn k_larger_than_n_panics() {
+        let points = Mat::from_rows(&[&[0.0]]);
+        let _ = agglomerative(&points, 2, Linkage::Single);
+    }
+
+    #[test]
+    fn centers_are_cluster_means() {
+        let points = Mat::from_rows(&[&[0.0, 0.0], &[2.0, 0.0], &[100.0, 100.0]]);
+        let c = agglomerative(&points, 2, Linkage::Single);
+        // The pair {0,1} merges; its center is (1, 0).
+        let pair_label = c.assignments[0];
+        assert_eq!(c.assignments[1], pair_label);
+        assert_eq!(c.centers.row(pair_label), &[1.0, 0.0]);
+    }
+}

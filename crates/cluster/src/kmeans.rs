@@ -1,0 +1,360 @@
+//! k-means clustering (Lloyd's algorithm).
+//!
+//! The paper (§4.3): "Given a choice of k desired clusters as input, the
+//! algorithm begins with k initial random seeds, which are the initial
+//! cluster centers. It then alternates between assigning each point in the
+//! dataset to the nearest cluster center, and updating the mean of each
+//! cluster. It iterates until further re-assignments are possible."
+//!
+//! Random seeding is therefore the default; k-means++ is available for the
+//! ablation benches ("k-means random seeding vs k-means++", DESIGN.md §7).
+
+use crate::{dist_sq, Clustering};
+use entromine_linalg::Mat;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::{Rng, SeedableRng};
+
+/// Seeding strategy for the initial cluster centers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Seeding {
+    /// k distinct points chosen uniformly at random (the paper's method).
+    #[default]
+    Random,
+    /// k-means++: points chosen with probability proportional to squared
+    /// distance from the nearest already-chosen center.
+    PlusPlus,
+}
+
+/// Configuration for a k-means run.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Iteration cap (Lloyd's converges long before this in practice).
+    pub max_iter: usize,
+    /// Seeding strategy.
+    pub seeding: Seeding,
+    /// RNG seed: identical seeds give identical clusterings.
+    pub seed: u64,
+}
+
+impl KMeans {
+    /// A default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeans {
+            k,
+            max_iter: 300,
+            seeding: Seeding::Random,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the seeding strategy.
+    pub fn with_seeding(mut self, seeding: Seeding) -> Self {
+        self.seeding = seeding;
+        self
+    }
+
+    /// Runs Lloyd's algorithm on the rows of `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or there are fewer points than clusters.
+    pub fn fit(&self, points: &Mat) -> Clustering {
+        let n = points.rows();
+        let d = points.cols();
+        assert!(self.k > 0, "k must be positive");
+        assert!(n >= self.k, "need at least k points ({} < {})", n, self.k);
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut centers = self.initial_centers(points, &mut rng);
+        let mut assignments = vec![usize::MAX; n];
+
+        for _ in 0..self.max_iter {
+            // Assignment step.
+            let mut changed = false;
+            for i in 0..n {
+                let x = points.row(i);
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for j in 0..self.k {
+                    let dj = dist_sq(x, centers.row(j));
+                    if dj < best_d {
+                        best_d = dj;
+                        best = j;
+                    }
+                }
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            // Update step.
+            let mut sums = Mat::zeros(self.k, d);
+            let mut counts = vec![0usize; self.k];
+            for (i, &a) in assignments.iter().enumerate() {
+                counts[a] += 1;
+                for (s, &v) in sums.row_mut(a).iter_mut().zip(points.row(i)) {
+                    *s += v;
+                }
+            }
+            for j in 0..self.k {
+                if counts[j] > 0 {
+                    for v in sums.row_mut(j) {
+                        *v /= counts[j] as f64;
+                    }
+                    centers.row_mut(j).copy_from_slice(sums.row(j));
+                } else {
+                    // Empty cluster: re-seed at the point farthest from its
+                    // current center, a standard Lloyd's repair.
+                    let far = (0..n)
+                        .max_by(|&a, &b| {
+                            let da = dist_sq(points.row(a), centers.row(assignments[a]));
+                            let db = dist_sq(points.row(b), centers.row(assignments[b]));
+                            da.partial_cmp(&db).expect("distances are finite")
+                        })
+                        .expect("n >= k >= 1");
+                    centers.row_mut(j).copy_from_slice(points.row(far));
+                }
+            }
+        }
+
+        let mut clustering = Clustering {
+            k: self.k,
+            assignments,
+            centers,
+        };
+        clustering.recompute_centers(points);
+        clustering
+    }
+
+    /// Runs `restarts` independent fits (seeds `self.seed`,
+    /// `self.seed + 1`, ...) and keeps the clustering with the lowest
+    /// within-cluster sum of squares — the standard remedy for Lloyd's
+    /// sensitivity to its random initial centers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restarts == 0`, or as [`fit`](Self::fit) does.
+    pub fn fit_restarts(&self, points: &Mat, restarts: usize) -> Clustering {
+        assert!(restarts > 0, "need at least one restart");
+        let mut best: Option<(f64, Clustering)> = None;
+        for r in 0..restarts {
+            let mut cfg = *self;
+            cfg.seed = self.seed.wrapping_add(r as u64);
+            let c = cfg.fit(points);
+            let inertia = Self::inertia(points, &c);
+            if best.as_ref().map_or(true, |(bi, _)| inertia < *bi) {
+                best = Some((inertia, c));
+            }
+        }
+        best.expect("restarts > 0").1
+    }
+
+    /// Total within-cluster sum of squared distances (the k-means
+    /// objective) of a clustering over `points`.
+    pub fn inertia(points: &Mat, clustering: &Clustering) -> f64 {
+        clustering
+            .assignments
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| dist_sq(points.row(i), clustering.centers.row(a)))
+            .sum()
+    }
+
+    fn initial_centers(&self, points: &Mat, rng: &mut StdRng) -> Mat {
+        let n = points.rows();
+        let d = points.cols();
+        let mut centers = Mat::zeros(self.k, d);
+        match self.seeding {
+            Seeding::Random => {
+                let chosen = sample(rng, n, self.k);
+                for (j, i) in chosen.into_iter().enumerate() {
+                    centers.row_mut(j).copy_from_slice(points.row(i));
+                }
+            }
+            Seeding::PlusPlus => {
+                let first = rng.random_range(0..n);
+                centers.row_mut(0).copy_from_slice(points.row(first));
+                let mut d2: Vec<f64> = (0..n)
+                    .map(|i| dist_sq(points.row(i), centers.row(0)))
+                    .collect();
+                for j in 1..self.k {
+                    let total: f64 = d2.iter().sum();
+                    let pick = if total <= 0.0 {
+                        rng.random_range(0..n)
+                    } else {
+                        let mut target = rng.random::<f64>() * total;
+                        let mut pick = n - 1;
+                        for (i, &w) in d2.iter().enumerate() {
+                            if target < w {
+                                pick = i;
+                                break;
+                            }
+                            target -= w;
+                        }
+                        pick
+                    };
+                    centers.row_mut(j).copy_from_slice(points.row(pick));
+                    for i in 0..n {
+                        let nd = dist_sq(points.row(i), centers.row(j));
+                        if nd < d2[i] {
+                            d2[i] = nd;
+                        }
+                    }
+                }
+            }
+        }
+        centers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated Gaussian-ish blobs in 2-D.
+    fn blobs() -> (Mat, Vec<usize>) {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut truth = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let offsets = [
+            (0.1, 0.2),
+            (-0.2, 0.1),
+            (0.3, -0.1),
+            (-0.1, -0.3),
+            (0.0, 0.25),
+            (0.2, 0.0),
+        ];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for &(dx, dy) in &offsets {
+                rows.push(vec![cx + dx, cy + dy]);
+                truth.push(c);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Mat::from_rows(&refs), truth)
+    }
+
+    /// Fraction of point pairs on whose co-membership two clusterings agree
+    /// (Rand index).
+    fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+        let n = a.len();
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let same_a = a[i] == a[j];
+                let same_b = b[i] == b[j];
+                if same_a == same_b {
+                    agree += 1;
+                }
+                total += 1;
+            }
+        }
+        agree as f64 / total as f64
+    }
+
+    #[test]
+    fn recovers_separated_blobs_with_restarts() {
+        // A single random seeding can land two centers in one blob (a
+        // legitimate Lloyd's local optimum); multi-restart always recovers.
+        let (points, truth) = blobs();
+        for seed in 0..5 {
+            let c = KMeans::new(3).with_seed(seed).fit_restarts(&points, 8);
+            assert_eq!(rand_index(&c.assignments, &truth), 1.0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_random_seeding_is_usually_decent() {
+        let (points, truth) = blobs();
+        let mut perfect = 0;
+        for seed in 0..10 {
+            let c = KMeans::new(3).with_seed(seed).fit(&points);
+            let ri = rand_index(&c.assignments, &truth);
+            assert!(ri >= 0.6, "seed {seed} catastrophically bad: {ri}");
+            if ri == 1.0 {
+                perfect += 1;
+            }
+        }
+        assert!(perfect >= 3, "only {perfect}/10 seeds recovered the blobs");
+    }
+
+    #[test]
+    fn plusplus_recovers_blobs_too() {
+        let (points, truth) = blobs();
+        let c = KMeans::new(3)
+            .with_seeding(Seeding::PlusPlus)
+            .with_seed(7)
+            .fit(&points);
+        assert_eq!(rand_index(&c.assignments, &truth), 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (points, _) = blobs();
+        let a = KMeans::new(3).with_seed(42).fit(&points);
+        let b = KMeans::new(3).with_seed(42).fit(&points);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn k_equals_n_puts_every_point_alone() {
+        let points = Mat::from_rows(&[&[0.0], &[5.0], &[10.0]]);
+        let c = KMeans::new(3).with_seed(1).fit(&points);
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn k_one_groups_everything() {
+        let (points, _) = blobs();
+        let c = KMeans::new(1).fit(&points);
+        assert!(c.assignments.iter().all(|&a| a == 0));
+        // Center is the global mean.
+        let mean_x: f64 = (0..points.rows()).map(|i| points.row(i)[0]).sum::<f64>()
+            / points.rows() as f64;
+        assert!((c.centers[(0, 0)] - mean_x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let (points, _) = blobs();
+        let i1 = KMeans::inertia(&points, &KMeans::new(1).with_seed(3).fit(&points));
+        let i3 = KMeans::inertia(&points, &KMeans::new(3).with_seed(3).fit(&points));
+        let i6 = KMeans::inertia(&points, &KMeans::new(6).with_seed(3).fit(&points));
+        assert!(i1 > i3, "{i1} !> {i3}");
+        assert!(i3 >= i6, "{i3} !>= {i6}");
+    }
+
+    #[test]
+    fn duplicate_points_are_fine() {
+        let row: &[f64] = &[1.0, 1.0];
+        let points = Mat::from_rows(&[row; 10]);
+        let c = KMeans::new(2).with_seed(5).fit(&points);
+        assert_eq!(c.assignments.len(), 10);
+        // All duplicates in one cluster (the other may be empty-reseeded to
+        // the same coordinates; either way assignments are consistent).
+        let first = c.assignments[0];
+        assert!(c.assignments.iter().all(|&a| a == first));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least k points")]
+    fn too_few_points_panics() {
+        let points = Mat::from_rows(&[&[1.0]]);
+        let _ = KMeans::new(2).fit(&points);
+    }
+}

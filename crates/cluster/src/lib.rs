@@ -1,0 +1,153 @@
+//! Unsupervised classification of anomalies in entropy space.
+//!
+//! §4.3 / §7 of the paper: every detected anomaly is a point
+//! `h̃ = [H̃(srcIP), H̃(srcPort), H̃(dstIP), H̃(dstPort)]`, rescaled to unit
+//! norm; structurally similar anomalies land near each other, and simple
+//! clustering recovers semantically meaningful groups without any a-priori
+//! anomaly taxonomy.
+//!
+//! * [`KMeans`] — Lloyd's algorithm with seeded random initialization (the
+//!   paper's choice) or k-means++ (ablation).
+//! * [`agglomerative`] — hierarchical agglomerative clustering with
+//!   nearest-neighbour (single) linkage as in the paper, plus complete and
+//!   average linkage for ablation, via Lance–Williams updates.
+//! * [`validity`] — the cluster-count selection metrics of §4.3:
+//!   intra-cluster variation `trace(W)` and inter-cluster variation
+//!   `trace(B)` as functions of the number of clusters (Figure 10), plus a
+//!   knee heuristic.
+//! * [`signature`] — the `+ / 0 / −` per-axis cluster signatures of
+//!   Tables 7–8 and the per-label mean ± std summaries of Table 6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hier;
+mod kmeans;
+pub mod signature;
+pub mod validity;
+
+pub use hier::{agglomerative, Linkage};
+pub use kmeans::{KMeans, Seeding};
+pub use signature::{AxisSign, Signature};
+pub use validity::{variation, variation_curve, CurveAlgorithm, VariationPoint};
+
+use entromine_linalg::Mat;
+
+/// The result of a clustering run: an assignment of every point to one of
+/// `k` clusters, plus the cluster means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// `assignments[i]` is the cluster of point `i` (`< k`).
+    pub assignments: Vec<usize>,
+    /// `k x d` matrix of cluster means (centroid of an empty cluster is the
+    /// zero vector).
+    pub centers: Mat,
+}
+
+impl Clustering {
+    /// Number of points in each cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Indices of the points assigned to cluster `j`.
+    pub fn members(&self, j: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == j)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Clusters ordered by decreasing size (as the paper's tables list
+    /// them); returns the cluster indices.
+    pub fn by_size_desc(&self) -> Vec<usize> {
+        let sizes = self.sizes();
+        let mut order: Vec<usize> = (0..self.k).collect();
+        order.sort_by_key(|&j| std::cmp::Reverse(sizes[j]));
+        order
+    }
+
+    /// Recomputes centers from assignments (used after external edits and
+    /// by the agglomerative path, which merges without tracking means).
+    pub fn recompute_centers(&mut self, points: &Mat) {
+        let d = points.cols();
+        let mut centers = Mat::zeros(self.k, d);
+        let mut counts = vec![0usize; self.k];
+        for (i, &a) in self.assignments.iter().enumerate() {
+            counts[a] += 1;
+            for (slot, &v) in centers.row_mut(a).iter_mut().zip(points.row(i)) {
+                *slot += v;
+            }
+        }
+        for (j, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                for v in centers.row_mut(j) {
+                    *v /= c as f64;
+                }
+            }
+        }
+        self.centers = centers;
+    }
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+pub(crate) fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_members_and_order() {
+        let c = Clustering {
+            k: 3,
+            assignments: vec![0, 1, 1, 2, 1],
+            centers: Mat::zeros(3, 2),
+        };
+        assert_eq!(c.sizes(), vec![1, 3, 1]);
+        assert_eq!(c.members(1), vec![1, 2, 4]);
+        assert_eq!(c.by_size_desc()[0], 1);
+    }
+
+    #[test]
+    fn recompute_centers_averages_members() {
+        let points = Mat::from_rows(&[&[0.0, 0.0], &[2.0, 2.0], &[10.0, 0.0]]);
+        let mut c = Clustering {
+            k: 2,
+            assignments: vec![0, 0, 1],
+            centers: Mat::zeros(2, 2),
+        };
+        c.recompute_centers(&points);
+        assert_eq!(c.centers.row(0), &[1.0, 1.0]);
+        assert_eq!(c.centers.row(1), &[10.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_cluster_center_is_zero() {
+        let points = Mat::from_rows(&[&[1.0, 1.0]]);
+        let mut c = Clustering {
+            k: 2,
+            assignments: vec![0],
+            centers: Mat::zeros(2, 2),
+        };
+        c.recompute_centers(&points);
+        assert_eq!(c.centers.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn dist_sq_works() {
+        assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist_sq(&[1.0], &[1.0]), 0.0);
+    }
+}

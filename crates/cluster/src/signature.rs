@@ -1,0 +1,234 @@
+//! Cluster and label signatures in entropy space.
+//!
+//! The paper summarizes where groups of anomalies live along the four
+//! residual-entropy axes:
+//!
+//! * **Table 6** gives, per manual label, the mean ± standard deviation on
+//!   each axis, with one asterisk when the mean is more than one standard
+//!   deviation from zero and two asterisks beyond two.
+//! * **Tables 7–8** give, per cluster, a `+ / 0 / −` code on each axis:
+//!   `0` if the cluster mean is within `s` standard deviations of zero
+//!   (s = 3 for the Abilene table, 2 for Geant), `+`/`−` otherwise by the
+//!   sign of the mean.
+
+use entromine_linalg::stats::{mean, std_dev};
+use entromine_linalg::Mat;
+use std::fmt;
+
+/// Sign code of one axis of a cluster signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxisSign {
+    /// Mean significantly positive.
+    Plus,
+    /// Mean not significantly different from zero.
+    Zero,
+    /// Mean significantly negative.
+    Minus,
+}
+
+impl fmt::Display for AxisSign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxisSign::Plus => write!(f, "+"),
+            AxisSign::Zero => write!(f, "0"),
+            AxisSign::Minus => write!(f, "-"),
+        }
+    }
+}
+
+/// Per-axis statistics of a set of points (a cluster or a label group).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signature {
+    /// Mean along each axis.
+    pub mean: Vec<f64>,
+    /// Sample standard deviation along each axis.
+    pub std: Vec<f64>,
+    /// `+ / 0 / −` code along each axis.
+    pub signs: Vec<AxisSign>,
+    /// Significance stars per axis: 0, 1 (`|mean| > std`), or
+    /// 2 (`|mean| > 2·std`) — Table 6's asterisks.
+    pub stars: Vec<u8>,
+}
+
+impl Signature {
+    /// Computes the signature of the given member rows of `points`.
+    ///
+    /// `sd_threshold` is the number of standard deviations the mean must
+    /// clear for a `+`/`−` code (3 in Table 7, 2 in Table 8). Degenerate
+    /// axes (zero spread) code by the raw sign of the mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or contains an out-of-range row.
+    pub fn of(points: &Mat, members: &[usize], sd_threshold: f64) -> Signature {
+        assert!(!members.is_empty(), "signature of an empty set");
+        let d = points.cols();
+        let mut means = Vec::with_capacity(d);
+        let mut stds = Vec::with_capacity(d);
+        let mut signs = Vec::with_capacity(d);
+        let mut stars = Vec::with_capacity(d);
+        for axis in 0..d {
+            let values: Vec<f64> = members.iter().map(|&i| points.row(i)[axis]).collect();
+            let m = mean(&values);
+            let s = std_dev(&values);
+            means.push(m);
+            stds.push(s);
+            let sign = if s > 0.0 {
+                if m > sd_threshold * s {
+                    AxisSign::Plus
+                } else if m < -sd_threshold * s {
+                    AxisSign::Minus
+                } else {
+                    AxisSign::Zero
+                }
+            } else if m > 1e-12 {
+                AxisSign::Plus
+            } else if m < -1e-12 {
+                AxisSign::Minus
+            } else {
+                AxisSign::Zero
+            };
+            signs.push(sign);
+            let star = if s > 0.0 {
+                if m.abs() > 2.0 * s {
+                    2
+                } else if m.abs() > s {
+                    1
+                } else {
+                    0
+                }
+            } else if m.abs() > 1e-12 {
+                2
+            } else {
+                0
+            };
+            stars.push(star);
+        }
+        Signature {
+            mean: means,
+            std: stds,
+            signs,
+            stars,
+        }
+    }
+
+    /// The compact sign string, e.g. `"-0+0"`.
+    pub fn sign_string(&self) -> String {
+        self.signs.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Formats one axis as the paper's Table 6 does:
+    /// `"-0.38 ± 0.32 *"`.
+    pub fn axis_display(&self, axis: usize) -> String {
+        let stars = match self.stars[axis] {
+            0 => "",
+            1 => " *",
+            _ => " **",
+        };
+        format!("{:+.2} ± {:.2}{}", self.mean[axis], self.std[axis], stars)
+    }
+
+    /// Squared Euclidean distance between the mean vectors of two
+    /// signatures — used to match clusters across datasets (Table 8's
+    /// "corresponding Abilene cluster" column).
+    pub fn mean_distance_sq(&self, other: &Signature) -> f64 {
+        self.mean
+            .iter()
+            .zip(&other.mean)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// `true` if the sign codes agree on every axis.
+    pub fn same_region(&self, other: &Signature) -> bool {
+        self.signs == other.signs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_positive_cluster_codes_plus() {
+        let points = Mat::from_rows(&[
+            &[1.0, -1.0, 0.01],
+            &[1.1, -0.9, -0.02],
+            &[0.9, -1.1, 0.00],
+            &[1.05, -1.0, 0.01],
+        ]);
+        let sig = Signature::of(&points, &[0, 1, 2, 3], 3.0);
+        assert_eq!(sig.signs[0], AxisSign::Plus);
+        assert_eq!(sig.signs[1], AxisSign::Minus);
+        assert_eq!(sig.signs[2], AxisSign::Zero);
+        assert_eq!(sig.sign_string(), "+-0");
+        assert_eq!(sig.stars[0], 2);
+        assert_eq!(sig.stars[2], 0);
+    }
+
+    #[test]
+    fn loose_cluster_codes_zero() {
+        // Mean 0.5 but std ~1: mean < 3 std => 0.
+        let points = Mat::from_rows(&[&[2.0], &[-1.0], &[0.5], &[0.5]]);
+        let sig = Signature::of(&points, &[0, 1, 2, 3], 3.0);
+        assert_eq!(sig.signs[0], AxisSign::Zero);
+    }
+
+    #[test]
+    fn threshold_changes_code() {
+        // Mean = 2.5 std: + at threshold 2, 0 at threshold 3.
+        let points = Mat::from_rows(&[&[2.0], &[3.0]]);
+        // mean 2.5, std ~0.707; mean = 3.53 std -> plus at both. Make wider:
+        let points2 = Mat::from_rows(&[&[1.0], &[4.0]]);
+        // mean 2.5, std ~2.12: 1.18 std from zero.
+        let tight = Signature::of(&points, &[0, 1], 3.0);
+        assert_eq!(tight.signs[0], AxisSign::Plus);
+        let loose = Signature::of(&points2, &[0, 1], 2.0);
+        assert_eq!(loose.signs[0], AxisSign::Zero);
+        let looser = Signature::of(&points2, &[0, 1], 1.0);
+        assert_eq!(looser.signs[0], AxisSign::Plus);
+    }
+
+    #[test]
+    fn singleton_cluster_uses_raw_sign() {
+        let points = Mat::from_rows(&[&[0.7, -0.7, 0.0]]);
+        let sig = Signature::of(&points, &[0], 3.0);
+        assert_eq!(sig.sign_string(), "+-0");
+        assert_eq!(sig.stars, vec![2, 2, 0]);
+    }
+
+    #[test]
+    fn subset_membership() {
+        let points = Mat::from_rows(&[&[1.0], &[100.0], &[1.1]]);
+        let sig = Signature::of(&points, &[0, 2], 3.0);
+        assert!((sig.mean[0] - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axis_display_formats() {
+        let points = Mat::from_rows(&[&[-0.38], &[-0.38]]);
+        let sig = Signature::of(&points, &[0, 1], 3.0);
+        let s = sig.axis_display(0);
+        assert!(s.starts_with("-0.38"), "{s}");
+        assert!(s.contains('±'));
+    }
+
+    #[test]
+    fn signature_distance_and_region() {
+        let points = Mat::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[-1.0, 0.0], &[-1.0, 0.0]]);
+        let a = Signature::of(&points, &[0, 1], 3.0);
+        let b = Signature::of(&points, &[2, 3], 3.0);
+        assert!(a.mean_distance_sq(&b) > 3.9);
+        assert!(!a.same_region(&b));
+        let a2 = Signature::of(&points, &[0, 1], 3.0);
+        assert!(a.same_region(&a2));
+        assert_eq!(a.mean_distance_sq(&a2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn empty_membership_panics() {
+        let points = Mat::from_rows(&[&[1.0]]);
+        let _ = Signature::of(&points, &[], 3.0);
+    }
+}

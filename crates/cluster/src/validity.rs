@@ -1,0 +1,216 @@
+//! Cluster-count selection: intra- and inter-cluster variation.
+//!
+//! §4.3 of the paper defines, for `n` points in `d` dimensions clustered
+//! into `k` groups:
+//!
+//! * `T = XᵀX` — total sum of squares and cross products,
+//! * `B = X̄ᵀ Zᵀ Z X̄` — between-cluster sum of squares (`X̄` the `k x d`
+//!   cluster means, `Z` the `n x k` indicator matrix),
+//! * `W = T − B` — within-cluster sum of squares,
+//!
+//! and uses `trace(W)` (intra-cluster variation, to be minimized) and
+//! `trace(B)` (inter-cluster variation, to be maximized) as functions of
+//! `k` to pick the number of clusters; the knee of these curves fell at
+//! 8–12 clusters for both networks (Figure 10), so the paper fixes k = 10.
+
+use crate::{agglomerative, Clustering, KMeans, Linkage};
+use entromine_linalg::Mat;
+
+/// Intra- (`trace(W)`) and inter- (`trace(B)`) cluster variation of one
+/// clustering of `points`.
+pub fn variation(points: &Mat, clustering: &Clustering) -> (f64, f64) {
+    // trace(T) = Σ_i ||x_i||².
+    let trace_t: f64 = points.row_iter().map(|r| r.iter().map(|v| v * v).sum::<f64>()).sum();
+    // trace(B) = Σ_j n_j ||mean_j||² (Z ᵀZ is diag(n_j)).
+    let sizes = clustering.sizes();
+    let trace_b: f64 = sizes
+        .iter()
+        .enumerate()
+        .map(|(j, &nj)| {
+            let c = clustering.centers.row(j);
+            nj as f64 * c.iter().map(|v| v * v).sum::<f64>()
+        })
+        .sum();
+    let trace_w = (trace_t - trace_b).max(0.0);
+    (trace_w, trace_b)
+}
+
+/// One point of the Figure-10 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationPoint {
+    /// Number of clusters.
+    pub k: usize,
+    /// Intra-cluster variation `trace(W)` (normalized per point).
+    pub within: f64,
+    /// Inter-cluster variation `trace(B)` (normalized per point).
+    pub between: f64,
+}
+
+/// Which algorithm to sweep in [`variation_curve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CurveAlgorithm {
+    /// k-means with the given seed.
+    KMeans {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Hierarchical agglomerative with the given linkage.
+    Hierarchical(Linkage),
+}
+
+/// Sweeps cluster counts and reports `trace(W)` / `trace(B)` per `k`,
+/// normalized by the number of points (matching the scale of the paper's
+/// Figure 10, which plots average distances).
+pub fn variation_curve(
+    points: &Mat,
+    ks: impl IntoIterator<Item = usize>,
+    algorithm: CurveAlgorithm,
+) -> Vec<VariationPoint> {
+    let n = points.rows().max(1) as f64;
+    ks.into_iter()
+        .map(|k| {
+            let clustering = match algorithm {
+                CurveAlgorithm::KMeans { seed } => KMeans::new(k).with_seed(seed).fit(points),
+                CurveAlgorithm::Hierarchical(linkage) => agglomerative(points, k, linkage),
+            };
+            let (w, b) = variation(points, &clustering);
+            VariationPoint {
+                k,
+                within: w / n,
+                between: b / n,
+            }
+        })
+        .collect()
+}
+
+/// Heuristic knee of a decreasing `within` curve: the first k after which
+/// adding a cluster stops explaining a material share of the *total*
+/// variation (improvement relative to the curve's starting value drops
+/// below `rel_improvement`, e.g. 0.05). Normalizing by the initial value —
+/// not the current one — keeps the heuristic stable once the curve has
+/// collapsed to near zero.
+pub fn knee(curve: &[VariationPoint], rel_improvement: f64) -> Option<usize> {
+    if curve.len() < 2 {
+        return curve.first().map(|p| p.k);
+    }
+    let scale = curve[0].within;
+    if scale <= 0.0 {
+        return curve.first().map(|p| p.k);
+    }
+    for w in curve.windows(2) {
+        let (prev, next) = (w[0], w[1]);
+        let improvement = (prev.within - next.within) / scale;
+        if improvement < rel_improvement {
+            return Some(prev.k);
+        }
+    }
+    curve.last().map(|p| p.k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(k: usize, per: usize, spread: f64) -> Mat {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for c in 0..k {
+            let cx = (c as f64) * 20.0;
+            let cy = (c as f64 % 3.0) * 15.0;
+            for i in 0..per {
+                let dx = spread * ((i as f64 * 0.37).sin());
+                let dy = spread * ((i as f64 * 0.73).cos());
+                rows.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Mat::from_rows(&refs)
+    }
+
+    #[test]
+    fn t_equals_w_plus_b() {
+        let points = blobs(3, 10, 1.0);
+        let c = KMeans::new(3).with_seed(1).fit(&points);
+        let (w, b) = variation(&points, &c);
+        let t: f64 = points
+            .row_iter()
+            .map(|r| r.iter().map(|v| v * v).sum::<f64>())
+            .sum();
+        assert!((w + b - t).abs() < 1e-6 * t.abs().max(1.0));
+    }
+
+    #[test]
+    fn perfect_clustering_minimizes_within() {
+        let points = blobs(3, 10, 0.5);
+        let perfect = KMeans::new(3).with_seed(1).fit(&points);
+        let coarse = KMeans::new(1).fit(&points);
+        let (w3, b3) = variation(&points, &perfect);
+        let (w1, b1) = variation(&points, &coarse);
+        assert!(w3 < w1);
+        assert!(b3 > b1);
+    }
+
+    #[test]
+    fn singleton_clusters_have_zero_within() {
+        let points = blobs(2, 3, 1.0);
+        let n = points.rows();
+        let c = agglomerative(&points, n, Linkage::Single);
+        let (w, _) = variation(&points, &c);
+        assert!(w < 1e-9);
+    }
+
+    #[test]
+    fn curve_within_decreases_with_k() {
+        let points = blobs(4, 12, 1.0);
+        let curve = variation_curve(
+            &points,
+            [1, 2, 4, 8],
+            CurveAlgorithm::Hierarchical(Linkage::Average),
+        );
+        for w in curve.windows(2) {
+            assert!(
+                w[1].within <= w[0].within + 1e-9,
+                "within must not increase: {curve:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn knee_found_at_true_cluster_count() {
+        // 4 well-separated blobs: within-variation collapses at k=4 and
+        // flattens after.
+        let points = blobs(4, 15, 0.5);
+        let curve = variation_curve(
+            &points,
+            2..=8,
+            CurveAlgorithm::Hierarchical(Linkage::Complete),
+        );
+        let k = knee(&curve, 0.05).unwrap();
+        assert!((3..=5).contains(&k), "knee at {k}, curve {curve:?}");
+    }
+
+    #[test]
+    fn knee_of_trivial_curves() {
+        assert_eq!(knee(&[], 0.1), None);
+        let single = [VariationPoint {
+            k: 2,
+            within: 1.0,
+            between: 1.0,
+        }];
+        assert_eq!(knee(&single, 0.1), Some(2));
+    }
+
+    #[test]
+    fn kmeans_and_hier_curves_agree_qualitatively() {
+        let points = blobs(3, 10, 0.5);
+        let km = variation_curve(&points, [3], CurveAlgorithm::KMeans { seed: 2 });
+        let ha = variation_curve(
+            &points,
+            [3],
+            CurveAlgorithm::Hierarchical(Linkage::Single),
+        );
+        // Both should essentially nail the 3 blobs: within variation tiny
+        // compared to between.
+        assert!(km[0].within < 0.05 * km[0].between);
+        assert!(ha[0].within < 0.05 * ha[0].between);
+    }
+}

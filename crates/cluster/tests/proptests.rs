@@ -1,0 +1,83 @@
+//! Property-based tests for the clustering layer.
+
+use entromine_cluster::{agglomerative, variation, KMeans, Linkage};
+use entromine_linalg::Mat;
+use proptest::prelude::*;
+
+fn points(n: usize, d: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-5.0f64..5.0, n * d)
+        .prop_map(move |v| Mat::from_vec(n, d, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kmeans_assignments_in_range(pts in points(30, 3), k in 1usize..6) {
+        let c = KMeans::new(k).with_seed(1).fit(&pts);
+        prop_assert_eq!(c.assignments.len(), 30);
+        prop_assert!(c.assignments.iter().all(|&a| a < k));
+    }
+
+    #[test]
+    fn kmeans_assigns_each_point_to_nearest_center(pts in points(25, 3), k in 1usize..5) {
+        let c = KMeans::new(k).with_seed(2).fit(&pts);
+        for i in 0..25 {
+            let my = c.assignments[i];
+            let my_d: f64 = pts.row(i).iter().zip(c.centers.row(my)).map(|(a, b)| (a - b).powi(2)).sum();
+            for j in 0..k {
+                let dj: f64 = pts.row(i).iter().zip(c.centers.row(j)).map(|(a, b)| (a - b).powi(2)).sum();
+                prop_assert!(my_d <= dj + 1e-9, "point {} closer to {} than {}", i, j, my);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_produces_exactly_k_nonempty_clusters(pts in points(20, 2), k in 1usize..8) {
+        let c = agglomerative(&pts, k, Linkage::Single);
+        let sizes = c.sizes();
+        prop_assert_eq!(sizes.len(), k);
+        prop_assert!(sizes.iter().all(|&s| s > 0), "empty cluster: {:?}", sizes);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn linkages_agree_on_k_equals_n_and_one(pts in points(12, 2)) {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let singletons = agglomerative(&pts, 12, linkage);
+            let mut sorted = singletons.sizes();
+            sorted.sort_unstable();
+            prop_assert!(sorted.iter().all(|&s| s == 1));
+            let all = agglomerative(&pts, 1, linkage);
+            prop_assert!(all.assignments.iter().all(|&a| a == 0));
+        }
+    }
+
+    #[test]
+    fn within_variation_decreases_with_k(pts in points(24, 3)) {
+        let mut prev = f64::INFINITY;
+        for k in [1usize, 2, 4, 8, 16, 24] {
+            let c = agglomerative(&pts, k, Linkage::Average);
+            let (w, _) = variation(&pts, &c);
+            prop_assert!(w <= prev + 1e-9, "within grew at k={}", k);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn t_decomposition_holds_for_any_clustering(pts in points(20, 3), k in 1usize..6) {
+        let c = KMeans::new(k).with_seed(3).fit(&pts);
+        let (w, b) = variation(&pts, &c);
+        let t: f64 = pts.row_iter().map(|r| r.iter().map(|v| v * v).sum::<f64>()).sum();
+        prop_assert!((w + b - t).abs() < 1e-7 * t.abs().max(1.0));
+        prop_assert!(w >= 0.0);
+        prop_assert!(b >= 0.0);
+    }
+
+    #[test]
+    fn kmeans_deterministic(pts in points(15, 2), seed in 0u64..1000) {
+        let a = KMeans::new(3).with_seed(seed).fit(&pts);
+        let b = KMeans::new(3).with_seed(seed).fit(&pts);
+        prop_assert_eq!(a.assignments, b.assignments);
+    }
+}

@@ -1,0 +1,191 @@
+//! Classification of diagnosed anomalies (§7).
+
+use crate::{DiagnosisError, DiagnosisReport};
+use entromine_cluster::{agglomerative, Clustering, KMeans, Linkage, Seeding};
+use entromine_linalg::Mat;
+
+/// Which clustering algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterAlgorithm {
+    /// k-means with seeded random initialization (optionally restarted).
+    KMeans {
+        /// RNG seed.
+        seed: u64,
+        /// Number of restarts (1 = single run, the paper's procedure).
+        restarts: usize,
+    },
+    /// Hierarchical agglomerative with the given linkage.
+    Hierarchical(Linkage),
+}
+
+/// Classifier configuration: algorithm plus cluster count.
+///
+/// The paper fixes `k = 10` after inspecting the intra-/inter-cluster
+/// variation curves (Figure 10, knee at 8–12).
+#[derive(Debug, Clone, Copy)]
+pub struct ClassifierConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Algorithm.
+    pub algorithm: ClusterAlgorithm,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig {
+            k: 10,
+            algorithm: ClusterAlgorithm::Hierarchical(Linkage::Single),
+        }
+    }
+}
+
+impl ClassifierConfig {
+    /// Clusters the rows of `points` (anomalies in entropy space).
+    ///
+    /// # Errors
+    ///
+    /// [`DiagnosisError::BadClassifier`] if `k` is zero or exceeds the
+    /// number of points.
+    pub fn classify(&self, points: &Mat) -> Result<Clustering, DiagnosisError> {
+        if self.k == 0 {
+            return Err(DiagnosisError::BadClassifier("k must be positive"));
+        }
+        if points.rows() < self.k {
+            return Err(DiagnosisError::BadClassifier(
+                "fewer anomalies than requested clusters",
+            ));
+        }
+        Ok(match self.algorithm {
+            ClusterAlgorithm::KMeans { seed, restarts } => {
+                let km = KMeans::new(self.k)
+                    .with_seed(seed)
+                    .with_seeding(Seeding::Random);
+                if restarts > 1 {
+                    km.fit_restarts(points, restarts)
+                } else {
+                    km.fit(points)
+                }
+            }
+            ClusterAlgorithm::Hierarchical(linkage) => agglomerative(points, self.k, linkage),
+        })
+    }
+}
+
+/// Collects the anomaly points of a report into an `n x 4` matrix
+/// (diagnoses without an identified flow are skipped). Returns the matrix
+/// and, for each row, the index of the diagnosis it came from.
+pub fn anomaly_point_matrix(report: &DiagnosisReport) -> (Mat, Vec<usize>) {
+    let rows: Vec<(usize, [f64; 4])> = report
+        .diagnoses
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.point.map(|p| (i, p)))
+        .collect();
+    let mut m = Mat::zeros(rows.len(), 4);
+    let mut origin = Vec::with_capacity(rows.len());
+    for (r, (i, p)) in rows.into_iter().enumerate() {
+        m.row_mut(r).copy_from_slice(&p);
+        origin.push(i);
+    }
+    (m, origin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Diagnosis, DetectionMethods};
+
+    fn report_with_points(points: &[[f64; 4]]) -> DiagnosisReport {
+        DiagnosisReport {
+            diagnoses: points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Diagnosis {
+                    bin: i,
+                    methods: DetectionMethods {
+                        entropy: true,
+                        ..Default::default()
+                    },
+                    entropy_spe: 1.0,
+                    bytes_spe: 0.0,
+                    packets_spe: 0.0,
+                    flows: Vec::new(),
+                    point: Some(*p),
+                })
+                .collect(),
+            thresholds: (0.0, 0.0, 0.5),
+        }
+    }
+
+    #[test]
+    fn point_matrix_collects_points() {
+        let report = report_with_points(&[[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0]]);
+        let (m, origin) = anomaly_point_matrix(&report);
+        assert_eq!(m.shape(), (2, 4));
+        assert_eq!(origin, vec![0, 1]);
+        assert_eq!(m.row(0)[0], 1.0);
+    }
+
+    #[test]
+    fn point_matrix_skips_missing_points() {
+        let mut report = report_with_points(&[[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0]]);
+        report.diagnoses[0].point = None;
+        let (m, origin) = anomaly_point_matrix(&report);
+        assert_eq!(m.rows(), 1);
+        assert_eq!(origin, vec![1]);
+    }
+
+    #[test]
+    fn classify_separates_obvious_groups() {
+        // Two tight groups in entropy space (port-scan-like and DDOS-like).
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            let eps = i as f64 * 0.002;
+            pts.push([-0.3 + eps, 0.0, -0.4, 0.86]); // port scan corner
+            pts.push([0.9 - eps, 0.1, -0.4, 0.0]); // ddos corner
+        }
+        let report = report_with_points(&pts);
+        let (m, _) = anomaly_point_matrix(&report);
+        for algorithm in [
+            ClusterAlgorithm::Hierarchical(Linkage::Single),
+            ClusterAlgorithm::KMeans { seed: 1, restarts: 4 },
+        ] {
+            let c = ClassifierConfig { k: 2, algorithm }.classify(&m).unwrap();
+            // Even indices together, odd indices together.
+            let a = c.assignments[0];
+            let b = c.assignments[1];
+            assert_ne!(a, b);
+            for (i, &asg) in c.assignments.iter().enumerate() {
+                assert_eq!(asg, if i % 2 == 0 { a } else { b }, "{algorithm:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn classify_rejects_bad_k() {
+        let report = report_with_points(&[[1.0, 0.0, 0.0, 0.0]]);
+        let (m, _) = anomaly_point_matrix(&report);
+        assert!(ClassifierConfig {
+            k: 0,
+            algorithm: ClusterAlgorithm::Hierarchical(Linkage::Single)
+        }
+        .classify(&m)
+        .is_err());
+        assert!(ClassifierConfig {
+            k: 5,
+            algorithm: ClusterAlgorithm::Hierarchical(Linkage::Single)
+        }
+        .classify(&m)
+        .is_err());
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = ClassifierConfig::default();
+        assert_eq!(c.k, 10);
+        assert!(matches!(
+            c.algorithm,
+            ClusterAlgorithm::Hierarchical(Linkage::Single)
+        ));
+    }
+}

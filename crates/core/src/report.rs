@@ -1,0 +1,293 @@
+//! Ground-truth evaluation: matching diagnoses to injected anomalies and
+//! building the paper's table rows.
+//!
+//! The paper's Tables 3, 6 and 7 rest on manually inspected labels; the
+//! synthetic datasets carry exact ground truth instead, so "manual
+//! inspection" becomes a join between [`DiagnosisReport`] bins and
+//! [`InjectedAnomaly`] coverage.
+
+use crate::{DiagnosisReport};
+use entromine_cluster::{Clustering, Signature};
+use entromine_linalg::Mat;
+use entromine_synth::{AnomalyLabel, InjectedAnomaly};
+use std::collections::HashMap;
+
+/// The outcome of matching one diagnosis against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchOutcome {
+    /// The diagnosis falls in a bin covered by this truth event (index
+    /// into the truth list).
+    Truth(usize),
+    /// No truth event covers the bin: a false alarm.
+    FalseAlarm,
+}
+
+/// Matches each diagnosis to the ground-truth event covering its bin (any
+/// affected flow counts; if several events share a bin the first one in
+/// truth order wins).
+pub fn match_truth(report: &DiagnosisReport, truth: &[InjectedAnomaly]) -> Vec<MatchOutcome> {
+    report
+        .diagnoses
+        .iter()
+        .map(|d| {
+            truth
+                .iter()
+                .position(|ev| ev.bins().contains(&d.bin))
+                .map_or(MatchOutcome::FalseAlarm, MatchOutcome::Truth)
+        })
+        .collect()
+}
+
+/// One row of a Table 3-style label breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelRow {
+    /// The anomaly label.
+    pub label: AnomalyLabel,
+    /// Events of this label injected into the dataset.
+    pub injected: usize,
+    /// Events detected by a volume method (any covered bin flagged).
+    pub found_in_volume: usize,
+    /// Events *additionally* found only by entropy.
+    pub additional_in_entropy: usize,
+    /// Events missed entirely.
+    pub missed: usize,
+}
+
+/// Builds the Table 3-style breakdown: per label, how many injected events
+/// were found by volume, how many additionally by entropy, how many missed.
+pub fn label_breakdown(report: &DiagnosisReport, truth: &[InjectedAnomaly]) -> Vec<LabelRow> {
+    // For each truth event, collect the methods of diagnoses in its bins.
+    #[derive(Default, Clone, Copy)]
+    struct Found {
+        volume: bool,
+        entropy: bool,
+    }
+    let mut found = vec![Found::default(); truth.len()];
+    for d in &report.diagnoses {
+        for (i, ev) in truth.iter().enumerate() {
+            if ev.bins().contains(&d.bin) {
+                found[i].volume |= d.methods.volume();
+                found[i].entropy |= d.methods.entropy;
+            }
+        }
+    }
+    // Group by label, preserving the taxonomy order.
+    let mut order: Vec<AnomalyLabel> = Vec::new();
+    let mut rows: HashMap<AnomalyLabel, LabelRow> = HashMap::new();
+    for (i, ev) in truth.iter().enumerate() {
+        let label = ev.event.label;
+        let row = rows.entry(label).or_insert_with(|| {
+            order.push(label);
+            LabelRow {
+                label,
+                injected: 0,
+                found_in_volume: 0,
+                additional_in_entropy: 0,
+                missed: 0,
+            }
+        });
+        row.injected += 1;
+        if found[i].volume {
+            row.found_in_volume += 1;
+        } else if found[i].entropy {
+            row.additional_in_entropy += 1;
+        } else {
+            row.missed += 1;
+        }
+    }
+    order.into_iter().map(|l| rows.remove(&l).expect("row exists")).collect()
+}
+
+/// One row of a Table 7-style cluster summary.
+#[derive(Debug, Clone)]
+pub struct ClusterRow {
+    /// Cluster index (in the clustering's own numbering).
+    pub cluster: usize,
+    /// Number of anomaly points in the cluster.
+    pub size: usize,
+    /// Most common ground-truth label among members, with its count.
+    pub plurality: Option<(AnomalyLabel, usize)>,
+    /// Members whose diagnosis matched no truth event or an `Unknown` one.
+    pub unknowns: usize,
+    /// The cluster's position in entropy space.
+    pub signature: Signature,
+}
+
+/// Builds Table 7-style rows: clusters in decreasing size order with
+/// plurality labels and `+ / 0 / −` signatures.
+///
+/// * `points` — the `n x 4` anomaly point matrix that was clustered.
+/// * `labels` — per-point ground truth (`None` = unmatched/false alarm).
+/// * `sd_threshold` — significance for the sign codes (3 in Table 7,
+///   2 in Table 8).
+pub fn cluster_rows(
+    points: &Mat,
+    clustering: &Clustering,
+    labels: &[Option<AnomalyLabel>],
+    sd_threshold: f64,
+) -> Vec<ClusterRow> {
+    assert_eq!(points.rows(), clustering.assignments.len());
+    assert_eq!(points.rows(), labels.len());
+    let mut rows = Vec::new();
+    for cluster in clustering.by_size_desc() {
+        let members = clustering.members(cluster);
+        if members.is_empty() {
+            continue;
+        }
+        let mut counts: HashMap<AnomalyLabel, usize> = HashMap::new();
+        let mut unknowns = 0usize;
+        for &m in &members {
+            match labels[m] {
+                Some(AnomalyLabel::Unknown) | None => {
+                    unknowns += 1;
+                    if let Some(l) = labels[m] {
+                        *counts.entry(l).or_insert(0) += 1;
+                    }
+                }
+                Some(l) => {
+                    *counts.entry(l).or_insert(0) += 1;
+                }
+            }
+        }
+        let plurality = counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+        rows.push(ClusterRow {
+            cluster,
+            size: members.len(),
+            plurality,
+            unknowns,
+            signature: Signature::of(points, &members, sd_threshold),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Diagnosis, DetectionMethods, DiagnosisReport};
+    use entromine_synth::AnomalyEvent;
+
+    fn truth_event(label: AnomalyLabel, bin: usize, flow: usize) -> InjectedAnomaly {
+        InjectedAnomaly {
+            event: AnomalyEvent {
+                label,
+                start_bin: bin,
+                duration: 1,
+                flows: vec![flow],
+                packets_per_cell: 100.0,
+                seed: 0,
+            },
+        }
+    }
+
+    fn diag(bin: usize, volume: bool, entropy: bool) -> Diagnosis {
+        Diagnosis {
+            bin,
+            methods: DetectionMethods {
+                bytes: volume,
+                packets: false,
+                entropy,
+            },
+            entropy_spe: 1.0,
+            bytes_spe: 1.0,
+            packets_spe: 0.0,
+            flows: Vec::new(),
+            point: None,
+        }
+    }
+
+    fn report(diagnoses: Vec<Diagnosis>) -> DiagnosisReport {
+        DiagnosisReport {
+            diagnoses,
+            thresholds: (1.0, 1.0, 1.0),
+        }
+    }
+
+    #[test]
+    fn matching_finds_covering_events() {
+        let truth = vec![
+            truth_event(AnomalyLabel::PortScan, 10, 0),
+            truth_event(AnomalyLabel::DosSingle, 20, 1),
+        ];
+        let r = report(vec![diag(10, false, true), diag(15, true, false), diag(20, true, true)]);
+        let outcomes = match_truth(&r, &truth);
+        assert_eq!(
+            outcomes,
+            vec![
+                MatchOutcome::Truth(0),
+                MatchOutcome::FalseAlarm,
+                MatchOutcome::Truth(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn breakdown_assigns_volume_priority() {
+        // An event seen by both methods counts under "found in volume",
+        // matching the paper's Table 3 accounting.
+        let truth = vec![
+            truth_event(AnomalyLabel::DosSingle, 10, 0),
+            truth_event(AnomalyLabel::PortScan, 20, 0),
+            truth_event(AnomalyLabel::PortScan, 30, 0),
+        ];
+        let r = report(vec![
+            diag(10, true, true),   // DOS: both
+            diag(20, false, true),  // scan: entropy only
+        ]);
+        let rows = label_breakdown(&r, &truth);
+        let dos = rows.iter().find(|r| r.label == AnomalyLabel::DosSingle).unwrap();
+        assert_eq!(dos.found_in_volume, 1);
+        assert_eq!(dos.additional_in_entropy, 0);
+        assert_eq!(dos.missed, 0);
+        let scan = rows.iter().find(|r| r.label == AnomalyLabel::PortScan).unwrap();
+        assert_eq!(scan.injected, 2);
+        assert_eq!(scan.found_in_volume, 0);
+        assert_eq!(scan.additional_in_entropy, 1);
+        assert_eq!(scan.missed, 1);
+    }
+
+    #[test]
+    fn cluster_rows_summarize() {
+        // Two clusters: port scans near (0,0,-0.5,0.85), alphas near
+        // (-0.5,-0.5,-0.5,-0.5).
+        let pts = Mat::from_rows(&[
+            &[0.0, 0.0, -0.5, 0.85],
+            &[0.01, 0.0, -0.5, 0.86],
+            &[-0.5, -0.5, -0.5, -0.5],
+            &[-0.51, -0.5, -0.5, -0.5],
+            &[-0.5, -0.51, -0.5, -0.5],
+        ]);
+        let clustering = Clustering {
+            k: 2,
+            assignments: vec![0, 0, 1, 1, 1],
+            centers: Mat::zeros(2, 4),
+        };
+        let labels = vec![
+            Some(AnomalyLabel::PortScan),
+            Some(AnomalyLabel::PortScan),
+            Some(AnomalyLabel::AlphaFlow),
+            Some(AnomalyLabel::AlphaFlow),
+            None, // an unmatched detection in the alpha cluster
+        ];
+        let rows = cluster_rows(&pts, &clustering, &labels, 3.0);
+        assert_eq!(rows.len(), 2);
+        // Largest cluster first.
+        assert_eq!(rows[0].size, 3);
+        assert_eq!(rows[0].plurality.unwrap().0, AnomalyLabel::AlphaFlow);
+        assert_eq!(rows[0].unknowns, 1);
+        assert_eq!(rows[1].size, 2);
+        assert_eq!(rows[1].plurality.unwrap().0, AnomalyLabel::PortScan);
+        // Port scan cluster: dstPort +, dstIP -.
+        let s = rows[1].signature.sign_string();
+        assert!(s.ends_with('+'), "signature {s}");
+    }
+
+    #[test]
+    fn empty_report_empty_tables() {
+        let r = report(Vec::new());
+        assert!(match_truth(&r, &[]).is_empty());
+        assert!(label_breakdown(&r, &[]).is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Counting histograms over traffic feature values.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A deterministic FxHash-style hasher.
+///
+/// `std`'s default `HashMap` hasher is seeded per instance, which makes
+/// iteration order — and therefore the floating-point summation order of
+/// entropy — vary between runs. Reproducibility is a hard requirement here
+/// (same seed ⇒ bit-identical dataset), so histograms use this fixed-key
+/// multiply-rotate hasher instead. Keys are attacker-influenced in a real
+/// deployment only through feature values, whose cardinality per bin is
+/// bounded by the sampled packet count, so HashDoS resistance is not a
+/// concern at this layer.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Deterministic hash state for histogram maps.
+pub type DetState = BuildHasherDefault<FxHasher>;
+
+/// An empirical histogram `X = {n_i, i = 1..N}`: feature value `i` occurred
+/// `n_i` times in the sample.
+///
+/// Keys are the `u32` encoding produced by
+/// [`Feature::extract`](entromine_net::packet::Feature::extract) (address
+/// as numeric value, port widened).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FeatureHistogram {
+    counts: HashMap<u32, u64, DetState>,
+    total: u64,
+}
+
+impl FeatureHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty histogram with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        FeatureHistogram {
+            counts: HashMap::with_capacity_and_hasher(cap, DetState::default()),
+            total: 0,
+        }
+    }
+
+    /// Records one observation of `value`.
+    #[inline]
+    pub fn add(&mut self, value: u32) {
+        self.add_n(value, 1);
+    }
+
+    /// Records `n` observations of `value`.
+    #[inline]
+    pub fn add_n(&mut self, value: u32, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &FeatureHistogram) {
+        for (&v, &n) in &other.counts {
+            self.add_n(v, n);
+        }
+    }
+
+    /// Total number of observations `S`.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct values `N`.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` if no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Count of a specific value (0 if unseen).
+    pub fn count(&self, value: u32) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(value, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts.iter().map(|(&v, &n)| (v, n))
+    }
+
+    /// Counts sorted in decreasing order — the paper's "rank order"
+    /// histogram view (Figure 1 plots these).
+    pub fn rank_ordered_counts(&self) -> Vec<u64> {
+        let mut counts: Vec<u64> = self.counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts
+    }
+
+    /// The `k` most frequent values with their counts, most frequent first.
+    /// Ties are broken by value for determinism.
+    pub fn top_k(&self, k: usize) -> Vec<(u32, u64)> {
+        let mut pairs: Vec<(u32, u64)> = self.counts.iter().map(|(&v, &n)| (v, n)).collect();
+        pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// The single most frequent value, if any (ties broken by value).
+    pub fn heavy_hitter(&self) -> Option<(u32, u64)> {
+        self.top_k(1).into_iter().next()
+    }
+
+    /// The fraction of observations belonging to the most frequent value
+    /// (0.0 for an empty histogram).
+    pub fn max_share(&self) -> f64 {
+        match self.heavy_hitter() {
+            Some((_, n)) if self.total > 0 => n as f64 / self.total as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+impl FromIterator<u32> for FeatureHistogram {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut h = FeatureHistogram::new();
+        for v in iter {
+            h.add(v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = FeatureHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.distinct(), 0);
+        assert_eq!(h.count(5), 0);
+        assert!(h.rank_ordered_counts().is_empty());
+        assert!(h.heavy_hitter().is_none());
+        assert_eq!(h.max_share(), 0.0);
+    }
+
+    #[test]
+    fn counting() {
+        let h: FeatureHistogram = [1u32, 1, 2, 3, 3, 3].into_iter().collect();
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.distinct(), 3);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count(9), 0);
+    }
+
+    #[test]
+    fn add_n_and_zero() {
+        let mut h = FeatureHistogram::new();
+        h.add_n(7, 5);
+        h.add_n(8, 0); // no-op
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.distinct(), 1);
+        assert_eq!(h.count(8), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a: FeatureHistogram = [1u32, 2].into_iter().collect();
+        let b: FeatureHistogram = [2u32, 3].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(2), 2);
+        assert_eq!(a.distinct(), 3);
+    }
+
+    #[test]
+    fn rank_order_is_descending() {
+        let h: FeatureHistogram = [5u32, 5, 5, 9, 9, 1].into_iter().collect();
+        assert_eq!(h.rank_ordered_counts(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn top_k_and_heavy_hitter() {
+        let h: FeatureHistogram = [5u32, 5, 5, 9, 9, 1].into_iter().collect();
+        assert_eq!(h.top_k(2), vec![(5, 3), (9, 2)]);
+        assert_eq!(h.heavy_hitter(), Some((5, 3)));
+        assert!((h.max_share() - 0.5).abs() < 1e-12);
+        // k larger than distinct count returns everything.
+        assert_eq!(h.top_k(10).len(), 3);
+    }
+
+    #[test]
+    fn top_k_tie_break_is_deterministic() {
+        let h: FeatureHistogram = [4u32, 2, 4, 2].into_iter().collect();
+        // Equal counts: smaller value first.
+        assert_eq!(h.top_k(2), vec![(2, 2), (4, 2)]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Traffic feature distributions and their entropy summaries.
+//!
+//! This crate implements §3 of the paper: empirical histograms of the four
+//! traffic features (source/destination address and port), the **sample
+//! entropy** metric that summarizes a distribution's concentration or
+//! dispersal in one number, and the data structures that organize entropy
+//! values into the three-way matrix `H(t, p, k)` analysed by the multiway
+//! subspace method.
+//!
+//! * [`FeatureHistogram`] — a counting histogram over one feature.
+//! * [`sample_entropy`] — `H(X) = -Σ (n_i/S) log2(n_i/S)`, plus the
+//!   normalized variant and alternative dispersion metrics used for
+//!   ablation (the paper: "entropy is not the only metric ... we have
+//!   explored other metrics and find that entropy works well in practice").
+//! * [`BinAccumulator`] / [`BinSummary`] — per-(OD flow, time bin) state:
+//!   four feature histograms plus packet and byte counts, summarized into
+//!   the six per-bin numbers the paper's timeseries use (bytes, packets,
+//!   and four entropies).
+//! * [`EntropyTensor`] — the `t x p x 4` tensor `H`, with the unfolding
+//!   `H -> t x 4p` of §4.2 (submatrix per feature, in srcIP | srcPort |
+//!   dstIP | dstPort order).
+//! * [`VolumeMatrix`] — the `t x p` byte and packet count matrices used by
+//!   the volume-based baseline detector of Lakhina et al. SIGCOMM 2004.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accum;
+mod hist;
+mod metrics;
+mod tensor;
+
+pub use accum::{BinAccumulator, BinSummary};
+pub use hist::FeatureHistogram;
+pub use metrics::{
+    distinct_count, gini_coefficient, normalized_entropy, sample_entropy, simpson_index,
+};
+pub use tensor::{EntropyTensor, TensorBuilder, VolumeMatrix};
+
+// Re-export the feature vocabulary: the tensor's `k` axis is these four.
+pub use entromine_net::packet::{Feature, FEATURES};

@@ -1,0 +1,212 @@
+//! Dispersion metrics over feature histograms.
+//!
+//! The paper's central summary is **sample entropy** (§3):
+//!
+//! ```text
+//! H(X) = - Σ_{i=1}^{N} (n_i / S) · log2(n_i / S)
+//! ```
+//!
+//! which is 0 when all observations share one value (maximal concentration)
+//! and `log2(N)` when all `N` values are equally common (maximal
+//! dispersal). The alternatives here (normalized entropy, Simpson index,
+//! Gini coefficient, distinct count) support the ablation benches: the
+//! paper notes other dispersion metrics exist but that "entropy works well
+//! in practice".
+
+use crate::hist::FeatureHistogram;
+
+/// Sample entropy of a histogram, in bits.
+///
+/// Empty histograms have entropy 0 by convention (there is no distribution
+/// to be dispersed).
+pub fn sample_entropy(hist: &FeatureHistogram) -> f64 {
+    let s = hist.total();
+    if s == 0 {
+        return 0.0;
+    }
+    let s = s as f64;
+    let mut h = 0.0;
+    for (_, n) in hist.iter() {
+        let p = n as f64 / s;
+        h -= p * p.log2();
+    }
+    // Clamp the tiny negative values floating point can produce for
+    // single-value histograms.
+    h.max(0.0)
+}
+
+/// Entropy normalized by its maximum `log2(N)`, mapping any histogram into
+/// `[0, 1]`. Histograms with fewer than two distinct values map to 0.
+///
+/// Useful when comparing distributions with very different support sizes,
+/// e.g. ports (≤ 65536 values) against addresses.
+pub fn normalized_entropy(hist: &FeatureHistogram) -> f64 {
+    let n = hist.distinct();
+    if n < 2 {
+        return 0.0;
+    }
+    sample_entropy(hist) / (n as f64).log2()
+}
+
+/// Simpson's diversity index `1 - Σ p_i^2`.
+///
+/// 0 for a single-valued histogram, approaching 1 for highly dispersed
+/// ones. An alternative dispersion summary for the ablation benches.
+pub fn simpson_index(hist: &FeatureHistogram) -> f64 {
+    let s = hist.total();
+    if s == 0 {
+        return 0.0;
+    }
+    let s = s as f64;
+    let sum_sq: f64 = hist.iter().map(|(_, n)| {
+        let p = n as f64 / s;
+        p * p
+    }).sum();
+    1.0 - sum_sq
+}
+
+/// Gini coefficient of the count distribution.
+///
+/// 0 when all values are equally frequent (perfect equality / maximal
+/// dispersal), approaching 1 when one value dominates.
+pub fn gini_coefficient(hist: &FeatureHistogram) -> f64 {
+    let n = hist.distinct();
+    if n == 0 || hist.total() == 0 {
+        return 0.0;
+    }
+    let mut counts: Vec<u64> = hist.iter().map(|(_, c)| c).collect();
+    counts.sort_unstable();
+    let total: u64 = hist.total();
+    // G = (2 Σ_i i·x_(i) ) / (n Σ x) - (n+1)/n    with 1-based ranks i.
+    let weighted: f64 = counts
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    let n_f = n as f64;
+    (2.0 * weighted) / (n_f * total as f64) - (n_f + 1.0) / n_f
+}
+
+/// Number of distinct values — the crudest dispersion measure.
+pub fn distinct_count(hist: &FeatureHistogram) -> f64 {
+    hist.distinct() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_of(values: &[u32]) -> FeatureHistogram {
+        values.iter().copied().collect()
+    }
+
+    #[test]
+    fn entropy_of_empty_is_zero() {
+        assert_eq!(sample_entropy(&FeatureHistogram::new()), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_constant_is_zero() {
+        // "takes on the value 0 when the distribution is maximally
+        // concentrated, i.e., all observations are the same."
+        let h = hist_of(&[7, 7, 7, 7, 7]);
+        assert_eq!(sample_entropy(&h), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log2_n() {
+        // "takes on the value log2 N when ... n_1 = n_2 = ... = n_N."
+        let h = hist_of(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!((sample_entropy(&h) - 3.0).abs() < 1e-12);
+        let h2 = hist_of(&[1, 1, 2, 2, 3, 3]);
+        assert!((sample_entropy(&h2) - (3.0f64).log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_known_asymmetric_case() {
+        // p = (3/4, 1/4): H = 2 - 0.75*log2(3) = 0.811278...
+        let h = hist_of(&[1, 1, 1, 2]);
+        let expected = 2.0 - 0.75 * 3.0f64.log2();
+        assert!((sample_entropy(&h) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_bounded_by_log2_n() {
+        let h = hist_of(&[1, 1, 2, 3, 3, 3, 4]);
+        let max = (h.distinct() as f64).log2();
+        let e = sample_entropy(&h);
+        assert!(e > 0.0 && e < max);
+    }
+
+    #[test]
+    fn entropy_concentration_reduces_it() {
+        // Adding mass to an existing heavy hitter reduces dispersal.
+        let balanced = hist_of(&[1, 2, 3, 4]);
+        let skewed = hist_of(&[1, 1, 1, 1, 2, 3, 4]);
+        assert!(sample_entropy(&skewed) < sample_entropy(&balanced));
+    }
+
+    #[test]
+    fn normalized_entropy_range() {
+        assert_eq!(normalized_entropy(&FeatureHistogram::new()), 0.0);
+        assert_eq!(normalized_entropy(&hist_of(&[5, 5])), 0.0); // single value
+        let uniform = hist_of(&[1, 2, 3, 4]);
+        assert!((normalized_entropy(&uniform) - 1.0).abs() < 1e-12);
+        let skewed = hist_of(&[1, 1, 1, 2]);
+        let ne = normalized_entropy(&skewed);
+        assert!(ne > 0.0 && ne < 1.0);
+    }
+
+    #[test]
+    fn simpson_index_cases() {
+        assert_eq!(simpson_index(&FeatureHistogram::new()), 0.0);
+        assert_eq!(simpson_index(&hist_of(&[3, 3, 3])), 0.0);
+        // Uniform over 4: 1 - 4*(1/16) = 0.75.
+        assert!((simpson_index(&hist_of(&[1, 2, 3, 4])) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_cases() {
+        assert_eq!(gini_coefficient(&FeatureHistogram::new()), 0.0);
+        // Equal counts: Gini = 0.
+        let uniform = hist_of(&[1, 1, 2, 2, 3, 3]);
+        assert!(gini_coefficient(&uniform).abs() < 1e-12);
+        // Strong skew: positive Gini.
+        let mut skewed = FeatureHistogram::new();
+        skewed.add_n(1, 97);
+        skewed.add(2);
+        skewed.add(3);
+        skewed.add(4);
+        assert!(gini_coefficient(&skewed) > 0.5);
+    }
+
+    #[test]
+    fn distinct_count_metric() {
+        assert_eq!(distinct_count(&FeatureHistogram::new()), 0.0);
+        assert_eq!(distinct_count(&hist_of(&[1, 1, 2, 9])), 3.0);
+    }
+
+    #[test]
+    fn port_scan_signature_in_entropy() {
+        // Miniature of Figure 1: a port scan disperses destination ports and
+        // concentrates destination addresses.
+        let normal_ports = hist_of(&[80, 80, 80, 443, 443, 53, 25, 110]);
+        let normal_addrs = hist_of(&[1, 2, 3, 4, 5, 1, 2, 3]);
+
+        let mut scan_ports = FeatureHistogram::new();
+        let mut scan_addrs = FeatureHistogram::new();
+        for port in 0..500u32 {
+            scan_ports.add(port);
+            scan_addrs.add(42); // one victim
+        }
+
+        assert!(
+            sample_entropy(&scan_ports) > sample_entropy(&normal_ports),
+            "scan must disperse ports"
+        );
+        assert!(
+            sample_entropy(&scan_addrs) < sample_entropy(&normal_addrs),
+            "scan must concentrate addresses"
+        );
+    }
+}

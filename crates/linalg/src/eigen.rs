@@ -1,0 +1,553 @@
+//! Symmetric eigendecomposition.
+//!
+//! Two independent solvers are provided:
+//!
+//! * [`sym_eigen`] — the classic dense path: Householder reduction to
+//!   tridiagonal form followed by implicit-shift QL iteration. `O(n^3)` and
+//!   numerically robust; returns *all* eigenpairs, which the
+//!   Jackson–Mudholkar Q-statistic needs (it sums powers of the residual
+//!   eigenvalues).
+//! * [`top_k_eigen`] — block orthogonal iteration for the leading `k`
+//!   eigenpairs only. Used to cross-validate `sym_eigen` in tests and as a
+//!   cheaper path when only the normal subspace is required.
+//!
+//! Both operate on the sample covariance matrices produced by
+//! [`Mat::covariance`](crate::Mat::covariance), which are symmetric positive
+//! semi-definite by construction.
+
+use crate::matrix::{dot, norm2};
+use crate::{LinalgError, Mat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a symmetric eigendecomposition.
+///
+/// Eigenvalues are sorted in descending order; column `j` of [`vectors`]
+/// is the unit-norm eigenvector for `values[j]`.
+///
+/// [`vectors`]: SymEigen::vectors
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, aligned with `values`.
+    pub vectors: Mat,
+}
+
+impl SymEigen {
+    /// Sum of all eigenvalues (equals the trace of the input matrix).
+    pub fn total_variance(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Fraction of total variance captured by the leading `m` eigenvalues.
+    ///
+    /// Returns 1.0 when the total variance is zero (a constant matrix has no
+    /// variance to explain).
+    pub fn explained(&self, m: usize) -> f64 {
+        let total = self.total_variance();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        self.values.iter().take(m).sum::<f64>() / total
+    }
+
+    /// Smallest `m` such that the leading `m` eigenvalues capture at least
+    /// `fraction` of total variance.
+    pub fn dims_for_variance(&self, fraction: f64) -> usize {
+        let total = self.total_variance();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut acc = 0.0;
+        for (i, v) in self.values.iter().enumerate() {
+            acc += v;
+            if acc / total >= fraction {
+                return i + 1;
+            }
+        }
+        self.values.len()
+    }
+}
+
+/// Full eigendecomposition of a symmetric matrix.
+///
+/// Householder tridiagonalization followed by implicit-shift QL iteration
+/// (the `tred2`/`tqli` pair of Numerical Recipes, re-derived here). The input
+/// must be square and symmetric to within `1e-8` in absolute terms.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] / [`LinalgError::NotSymmetric`] on bad input.
+/// * [`LinalgError::NoConvergence`] if QL needs more than 50 sweeps for some
+///   eigenvalue (does not happen for PSD covariance matrices in practice).
+pub fn sym_eigen(a: &Mat) -> Result<SymEigen, LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if a.rows() == 0 {
+        return Err(LinalgError::Empty {
+            what: "eigendecomposition of 0x0 matrix",
+        });
+    }
+    // Scale the symmetry tolerance with the magnitude of the matrix.
+    let scale = a.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    if !a.is_symmetric(1e-8 * scale.max(1.0)) {
+        return Err(LinalgError::NotSymmetric);
+    }
+
+    let n = a.rows();
+    let mut z = a.clone();
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    tred2(&mut z, &mut d, &mut e);
+    tqli(&mut d, &mut e, &mut z)?;
+
+    // Sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("eigenvalues are finite"));
+    let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let vectors = z.select_cols(&order);
+    Ok(SymEigen { values, vectors })
+}
+
+/// Householder reduction of a real symmetric matrix to tridiagonal form.
+///
+/// On return `z` holds the accumulated orthogonal transform `Q` (so that
+/// `Q^T A Q` is tridiagonal), `d` the diagonal and `e` the sub-diagonal
+/// (with `e[0] == 0`).
+fn tred2(z: &mut Mat, d: &mut [f64], e: &mut [f64]) {
+    let n = z.rows();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let scale: f64 = (0..=l).map(|k| z[(i, k)].abs()).sum();
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let mut f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = z[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let delta = f * e[k] + g * z[(i, k)];
+                        z[(j, k)] -= delta;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let delta = g * z[(k, i)];
+                    z[(k, j)] -= delta;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+}
+
+/// Implicit-shift QL iteration on a symmetric tridiagonal matrix.
+///
+/// `d` holds the diagonal (eigenvalues on return), `e` the sub-diagonal
+/// (destroyed), and `z` the transform accumulated so far (eigenvectors in
+/// its columns on return).
+fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Mat) -> Result<(), LinalgError> {
+    let n = d.len();
+    if n == 1 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // Find the first index m >= l where the sub-diagonal is
+            // negligible, splitting the problem.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 50 {
+                return Err(LinalgError::NoConvergence {
+                    algorithm: "tqli",
+                    iterations: 50,
+                });
+            }
+            // Wilkinson-style shift from the leading 2x2 block.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(if g >= 0.0 { 1.0 } else { -1.0 }));
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Recover from underflow by deflating.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Apply the rotation to the accumulated eigenvector matrix.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Leading `k` eigenpairs of a symmetric matrix by block orthogonal
+/// iteration (a.k.a. simultaneous/subspace iteration).
+///
+/// Starts from a seeded random orthonormal block and iterates
+/// `Q <- orth(A Q)` until the Rayleigh quotients stabilise to within `tol`
+/// (relative) or `max_iter` sweeps elapse. Intended for covariance matrices
+/// (symmetric PSD); eigenvalue signs are not disambiguated for indefinite
+/// matrices with eigenvalues of equal magnitude.
+///
+/// # Errors
+///
+/// Same shape errors as [`sym_eigen`]; [`LinalgError::Domain`] if
+/// `k == 0` or `k > n`.
+pub fn top_k_eigen(a: &Mat, k: usize, seed: u64) -> Result<SymEigen, LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    if k == 0 || k > n {
+        return Err(LinalgError::Domain {
+            what: "top_k_eigen requires 1 <= k <= n",
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // n x k block with random entries, then orthonormalized.
+    let mut q: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..n).map(|_| rng.random::<f64>() - 0.5).collect())
+        .collect();
+    gram_schmidt(&mut q);
+
+    let max_iter = 500;
+    let tol = 1e-12;
+    let mut prev = vec![f64::INFINITY; k];
+    for it in 0..max_iter {
+        // q_j <- A q_j for every block column, then re-orthonormalize.
+        let mut next: Vec<Vec<f64>> = Vec::with_capacity(k);
+        for col in &q {
+            next.push(a.matvec(col).expect("square matrix times n-vector"));
+        }
+        gram_schmidt(&mut next);
+        q = next;
+        // Rayleigh quotients approximate the eigenvalues.
+        let mut vals: Vec<f64> = Vec::with_capacity(k);
+        for col in &q {
+            let av = a.matvec(col).expect("square matrix times n-vector");
+            vals.push(dot(col, &av));
+        }
+        let max_rel = vals
+            .iter()
+            .zip(&prev)
+            .map(|(v, p)| {
+                let denom = v.abs().max(1e-300);
+                (v - p).abs() / denom
+            })
+            .fold(0.0, f64::max);
+        prev = vals;
+        if max_rel < tol && it > 2 {
+            break;
+        }
+    }
+
+    // Final Rayleigh–Ritz step: project A into span(Q) and solve the small
+    // k x k problem exactly, which resolves nearly-equal eigenvalues.
+    let qmat = Mat::from_fn(n, k, |i, j| q[j][i]);
+    let aq = a.matmul(&qmat)?;
+    let small = qmat.transpose().matmul(&aq)?;
+    // Symmetrize against round-off before the dense solve.
+    let small = Mat::from_fn(k, k, |i, j| 0.5 * (small[(i, j)] + small[(j, i)]));
+    let inner = sym_eigen(&small)?;
+    let vectors = qmat.matmul(&inner.vectors)?;
+    Ok(SymEigen {
+        values: inner.values,
+        vectors,
+    })
+}
+
+/// In-place modified Gram–Schmidt over a set of column vectors.
+///
+/// Vectors that collapse to (numerical) zero are replaced with zero vectors;
+/// callers pass random full-rank blocks so this is a non-issue in practice.
+fn gram_schmidt(cols: &mut [Vec<f64>]) {
+    let k = cols.len();
+    for j in 0..k {
+        // Split the slice so we can read earlier columns while mutating col j.
+        let (done, rest) = cols.split_at_mut(j);
+        let col = &mut rest[0];
+        for prev in done.iter() {
+            let proj = dot(prev, col);
+            for (c, p) in col.iter_mut().zip(prev) {
+                *c -= proj * p;
+            }
+        }
+        let norm = norm2(col);
+        if norm > 1e-300 {
+            for c in col.iter_mut() {
+                *c /= norm;
+            }
+        } else {
+            for c in col.iter_mut() {
+                *c = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let a = Mat::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 2.0]]);
+        let e = sym_eigen(&a).unwrap();
+        assert_close(e.values[0], 3.0, 1e-12);
+        assert_close(e.values[1], 2.0, 1e-12);
+        assert_close(e.values[2], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn eigen_of_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/sqrt2, (1,-1)/sqrt2.
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = sym_eigen(&a).unwrap();
+        assert_close(e.values[0], 3.0, 1e-12);
+        assert_close(e.values[1], 1.0, 1e-12);
+        let v0 = e.vectors.col(0);
+        assert_close(v0[0].abs(), 1.0 / 2f64.sqrt(), 1e-10);
+        assert_close(v0[1].abs(), 1.0 / 2f64.sqrt(), 1e-10);
+        assert_close(v0[0] * v0[1], 0.5, 1e-10); // same sign
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        // A = V diag(values) V^T must reproduce the input.
+        let a = Mat::from_rows(&[
+            &[4.0, 1.0, 0.5, 0.0],
+            &[1.0, 3.0, 0.2, 0.1],
+            &[0.5, 0.2, 2.0, 0.3],
+            &[0.0, 0.1, 0.3, 1.0],
+        ]);
+        let e = sym_eigen(&a).unwrap();
+        let n = 4;
+        let mut lam = Mat::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.values[i];
+        }
+        let recon = e
+            .vectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        assert!(recon.max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Mat::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, 0.2],
+            &[0.5, 0.2, 2.0],
+        ]);
+        let e = sym_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.max_abs_diff(&Mat::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_rejects_bad_input() {
+        assert!(matches!(
+            sym_eigen(&Mat::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let asym = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(matches!(sym_eigen(&asym), Err(LinalgError::NotSymmetric)));
+        assert!(sym_eigen(&Mat::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn eigen_of_1x1() {
+        let a = Mat::from_rows(&[&[7.0]]);
+        let e = sym_eigen(&a).unwrap();
+        assert_eq!(e.values, vec![7.0]);
+        assert_close(e.vectors[(0, 0)].abs(), 1.0, 1e-15);
+    }
+
+    #[test]
+    fn eigen_handles_zero_matrix() {
+        let e = sym_eigen(&Mat::zeros(3, 3)).unwrap();
+        assert!(e.values.iter().all(|&v| v.abs() < 1e-15));
+        // Eigenvectors still orthonormal.
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.max_abs_diff(&Mat::identity(3)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_with_repeated_eigenvalues() {
+        // 2*I has eigenvalue 2 with multiplicity 3.
+        let mut a = Mat::identity(3);
+        a.scale(2.0);
+        let e = sym_eigen(&a).unwrap();
+        for v in &e.values {
+            assert_close(*v, 2.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn explained_variance_helpers() {
+        let e = SymEigen {
+            values: vec![6.0, 3.0, 1.0],
+            vectors: Mat::identity(3),
+        };
+        assert_close(e.total_variance(), 10.0, 1e-15);
+        assert_close(e.explained(1), 0.6, 1e-15);
+        assert_close(e.explained(2), 0.9, 1e-15);
+        assert_eq!(e.dims_for_variance(0.85), 2);
+        assert_eq!(e.dims_for_variance(0.95), 3);
+        assert_eq!(e.dims_for_variance(0.5), 1);
+    }
+
+    #[test]
+    fn explained_variance_of_zero_matrix() {
+        let e = SymEigen {
+            values: vec![0.0, 0.0],
+            vectors: Mat::identity(2),
+        };
+        assert_eq!(e.explained(1), 1.0);
+        assert_eq!(e.dims_for_variance(0.9), 0);
+    }
+
+    #[test]
+    fn top_k_matches_full_eigen() {
+        // Build a random symmetric PSD matrix B^T B and compare solvers.
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 12;
+        let b = Mat::from_fn(n, n, |_, _| rng.random::<f64>() - 0.5);
+        let a = b.transpose().matmul(&b).unwrap();
+        let full = sym_eigen(&a).unwrap();
+        let top = top_k_eigen(&a, 4, 7).unwrap();
+        for i in 0..4 {
+            assert_close(top.values[i], full.values[i], 1e-8);
+            // Vectors agree up to sign.
+            let vf = full.vectors.col(i);
+            let vt = top.vectors.col(i);
+            let d = dot(&vf, &vt).abs();
+            assert_close(d, 1.0, 1e-6);
+        }
+    }
+
+    #[test]
+    fn top_k_rejects_bad_k() {
+        let a = Mat::identity(3);
+        assert!(top_k_eigen(&a, 0, 1).is_err());
+        assert!(top_k_eigen(&a, 4, 1).is_err());
+        assert!(top_k_eigen(&Mat::zeros(2, 3), 1, 1).is_err());
+    }
+
+    #[test]
+    fn large_random_psd_eigen_properties() {
+        // 60x60 PSD matrix: all eigenvalues >= 0, trace preserved.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 60;
+        let b = Mat::from_fn(n, 30, |_, _| rng.random::<f64>() - 0.5);
+        let a = b.matmul(&b.transpose()).unwrap();
+        let e = sym_eigen(&a).unwrap();
+        for v in &e.values {
+            assert!(*v > -1e-9, "PSD matrix produced negative eigenvalue {v}");
+        }
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        assert_close(e.total_variance(), trace, 1e-8 * trace.abs().max(1.0));
+        // Rank is at most 30, so eigenvalues past 30 are ~0.
+        for v in &e.values[30..] {
+            assert!(v.abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type shared by the linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by the dense linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ///
+    /// Carries a human-readable description of the two shapes involved.
+    ShapeMismatch {
+        /// Description of the operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The matrix passed to an eigensolver was not square.
+    NotSquare {
+        /// Actual shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// The matrix passed to a symmetric eigensolver was not symmetric
+    /// within tolerance.
+    NotSymmetric,
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the algorithm that failed (e.g. `"tqli"`).
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input was empty where at least one element/row/column is required.
+    Empty {
+        /// Description of what was empty.
+        what: &'static str,
+    },
+    /// A numeric argument was outside its valid domain.
+    Domain {
+        /// Description of the domain violation.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix is not square: {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NotSymmetric => write!(f, "matrix is not symmetric"),
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            LinalgError::Empty { what } => write!(f, "empty input: {what}"),
+            LinalgError::Domain { what } => write!(f, "domain error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+
+        let e = LinalgError::NoConvergence {
+            algorithm: "tqli",
+            iterations: 50,
+        };
+        assert!(e.to_string().contains("tqli"));
+        assert!(e.to_string().contains("50"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&LinalgError::NotSymmetric);
+    }
+}

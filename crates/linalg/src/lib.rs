@@ -1,0 +1,57 @@
+//! Dense linear algebra for the `entromine` workspace.
+//!
+//! This crate provides exactly the numerical machinery the subspace method of
+//! Lakhina, Crovella & Diot (SIGCOMM 2004/2005) needs, implemented from
+//! scratch with no external numerics dependencies:
+//!
+//! * [`Mat`] — a dense, row-major, `f64` matrix with the usual algebraic
+//!   operations (multiply, transpose, column statistics, norms).
+//! * [`sym_eigen`] — a full symmetric eigendecomposition (Householder
+//!   tridiagonalization followed by implicit-shift QL iteration), the
+//!   workhorse behind principal component analysis.
+//! * [`top_k_eigen`] — block orthogonal iteration for the leading `k`
+//!   eigenpairs; used as an independent cross-check of [`sym_eigen`] and as a
+//!   fast path when only the normal subspace is required.
+//! * [`Pca`] — principal component analysis over the rows of a data matrix
+//!   (columns are variables), as used to split traffic into normal and
+//!   residual subspaces.
+//! * [`stats`] — the standard-normal quantile function (needed by the
+//!   Jackson–Mudholkar Q-statistic threshold) and friends.
+//!
+//! The matrices that appear in the paper are modest — the widest is the
+//! unfolded Geant entropy matrix with `4p = 1936` columns — so a clear,
+//! well-tested `O(n^3)` dense implementation is the right tool; sparse or
+//! blocked kernels would add complexity without changing any experimental
+//! outcome.
+//!
+//! # Example
+//!
+//! ```
+//! use entromine_linalg::{Mat, Pca};
+//!
+//! // Three observations of two correlated variables.
+//! let x = Mat::from_rows(&[
+//!     &[1.0, 2.0],
+//!     &[2.0, 4.1],
+//!     &[3.0, 5.9],
+//! ]);
+//! let pca = Pca::fit(&x).unwrap();
+//! // Almost all variance is captured by the first principal axis.
+//! assert!(pca.explained_variance_ratio(1) > 0.99);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eigen;
+mod error;
+mod matrix;
+mod pca;
+mod solve;
+pub mod stats;
+
+pub use eigen::{sym_eigen, top_k_eigen, SymEigen};
+pub use error::LinalgError;
+pub use matrix::Mat;
+pub use pca::Pca;
+pub use solve::{solve, solve_regularized};

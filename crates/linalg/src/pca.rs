@@ -1,0 +1,254 @@
+//! Principal component analysis over the rows of a data matrix.
+//!
+//! The subspace method treats a `t x n` measurement matrix (rows =
+//! timepoints, columns = variables) as samples of a correlated process,
+//! finds the principal axes of variation, and splits every observation into
+//! a *normal* component (projection onto the leading axes) and a *residual*
+//! component (everything else). [`Pca`] packages the fitted axes plus the
+//! full eigenvalue spectrum, which downstream code needs for detection
+//! thresholds.
+
+use crate::matrix::dot;
+use crate::{sym_eigen, LinalgError, Mat, SymEigen};
+
+/// A fitted principal component analysis.
+///
+/// Built by [`Pca::fit`]; columns of the input are centered to zero mean
+/// before the covariance is formed (as in Lakhina et al., SIGCOMM 2004).
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    eigen: SymEigen,
+}
+
+impl Pca {
+    /// Fits a PCA to the rows of `x` (columns are variables).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError`] from covariance construction (fewer than
+    /// two rows) or the eigensolver.
+    pub fn fit(x: &Mat) -> Result<Self, LinalgError> {
+        if x.cols() == 0 {
+            return Err(LinalgError::Empty {
+                what: "PCA of a matrix with zero columns",
+            });
+        }
+        let mean = x.col_means();
+        let cov = x.covariance()?;
+        let eigen = sym_eigen(&cov)?;
+        Ok(Pca { mean, eigen })
+    }
+
+    /// Number of variables (columns of the fitted data).
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The per-column means removed before analysis.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// All eigenvalues of the sample covariance, descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigen.values
+    }
+
+    /// The orthonormal principal axes (one per column, aligned with
+    /// [`eigenvalues`](Self::eigenvalues)).
+    pub fn components(&self) -> &Mat {
+        &self.eigen.vectors
+    }
+
+    /// Fraction of variance explained by the leading `m` components.
+    pub fn explained_variance_ratio(&self, m: usize) -> f64 {
+        self.eigen.explained(m)
+    }
+
+    /// Smallest component count capturing at least `fraction` of variance.
+    pub fn dims_for_variance(&self, fraction: f64) -> usize {
+        self.eigen.dims_for_variance(fraction)
+    }
+
+    /// Centers `x` and projects it onto the leading `m` principal axes,
+    /// returning the `m` scores.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] if `x.len() != self.dim()`;
+    /// [`LinalgError::Domain`] if `m > self.dim()`.
+    pub fn project(&self, x: &[f64], m: usize) -> Result<Vec<f64>, LinalgError> {
+        self.check(x, m)?;
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(v, mu)| v - mu).collect();
+        let mut scores = Vec::with_capacity(m);
+        for j in 0..m {
+            let col: Vec<f64> = (0..self.dim()).map(|i| self.eigen.vectors[(i, j)]).collect();
+            scores.push(dot(&centered, &col));
+        }
+        Ok(scores)
+    }
+
+    /// Splits a centered observation into its modeled (normal-subspace) part.
+    ///
+    /// Returns `x_hat` such that `x - mean = x_hat + x_tilde` with `x_hat`
+    /// in the span of the leading `m` axes.
+    pub fn reconstruct(&self, x: &[f64], m: usize) -> Result<Vec<f64>, LinalgError> {
+        self.check(x, m)?;
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(v, mu)| v - mu).collect();
+        let mut hat = vec![0.0; self.dim()];
+        for j in 0..m {
+            let col: Vec<f64> = (0..self.dim()).map(|i| self.eigen.vectors[(i, j)]).collect();
+            let score = dot(&centered, &col);
+            for (h, &c) in hat.iter_mut().zip(&col) {
+                *h += score * c;
+            }
+        }
+        Ok(hat)
+    }
+
+    /// The residual `x_tilde = (x - mean) - x_hat` after removing the
+    /// normal-subspace component.
+    pub fn residual(&self, x: &[f64], m: usize) -> Result<Vec<f64>, LinalgError> {
+        let hat = self.reconstruct(x, m)?;
+        Ok(x.iter()
+            .zip(&self.mean)
+            .zip(&hat)
+            .map(|((v, mu), h)| (v - mu) - h)
+            .collect())
+    }
+
+    /// Squared prediction error: `||x_tilde||^2`, the detection statistic of
+    /// the subspace method.
+    pub fn spe(&self, x: &[f64], m: usize) -> Result<f64, LinalgError> {
+        let r = self.residual(x, m)?;
+        Ok(dot(&r, &r))
+    }
+
+    fn check(&self, x: &[f64], m: usize) -> Result<(), LinalgError> {
+        if x.len() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "pca apply",
+                lhs: (1, x.len()),
+                rhs: (1, self.dim()),
+            });
+        }
+        if m > self.dim() {
+            return Err(LinalgError::Domain {
+                what: "requested more components than variables",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Data living (noisily) on a line in 3-space.
+    fn line_data(n: usize, noise: f64, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mat::from_fn(n, 3, |i, j| {
+            let t = i as f64 / n as f64;
+            let base = match j {
+                0 => 2.0 * t,
+                1 => -1.0 * t + 5.0,
+                _ => 0.5 * t - 2.0,
+            };
+            base + noise * (rng.random::<f64>() - 0.5)
+        })
+    }
+
+    #[test]
+    fn one_dimensional_data_has_one_component() {
+        let x = line_data(200, 0.0, 1);
+        let pca = Pca::fit(&x).unwrap();
+        assert!(pca.explained_variance_ratio(1) > 1.0 - 1e-9);
+        assert_eq!(pca.dims_for_variance(0.999), 1);
+    }
+
+    #[test]
+    fn noisy_line_mostly_one_component() {
+        let x = line_data(500, 0.05, 2);
+        let pca = Pca::fit(&x).unwrap();
+        assert!(pca.explained_variance_ratio(1) > 0.98);
+    }
+
+    #[test]
+    fn residual_plus_reconstruction_is_centered_x() {
+        let x = line_data(100, 0.3, 3);
+        let pca = Pca::fit(&x).unwrap();
+        let probe = x.row(10);
+        for m in [0, 1, 2, 3] {
+            let hat = pca.reconstruct(probe, m).unwrap();
+            let tilde = pca.residual(probe, m).unwrap();
+            for j in 0..3 {
+                let centered = probe[j] - pca.mean()[j];
+                assert!((hat[j] + tilde[j] - centered).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn full_rank_projection_has_zero_residual() {
+        let x = line_data(100, 0.3, 4);
+        let pca = Pca::fit(&x).unwrap();
+        let spe = pca.spe(x.row(5), 3).unwrap();
+        assert!(spe < 1e-18, "full-dimensional SPE should vanish, got {spe}");
+    }
+
+    #[test]
+    fn spe_decreases_with_more_components() {
+        let x = line_data(300, 0.4, 5);
+        let pca = Pca::fit(&x).unwrap();
+        let probe = x.row(7);
+        let spe0 = pca.spe(probe, 0).unwrap();
+        let spe1 = pca.spe(probe, 1).unwrap();
+        let spe2 = pca.spe(probe, 2).unwrap();
+        assert!(spe0 >= spe1 - 1e-12);
+        assert!(spe1 >= spe2 - 1e-12);
+    }
+
+    #[test]
+    fn outlier_has_larger_spe_than_inliers() {
+        let x = line_data(300, 0.05, 6);
+        let pca = Pca::fit(&x).unwrap();
+        let inlier_spe = pca.spe(x.row(50), 1).unwrap();
+        // A point far off the line.
+        let outlier = [0.0, 20.0, 10.0];
+        let outlier_spe = pca.spe(&outlier, 1).unwrap();
+        assert!(outlier_spe > 100.0 * inlier_spe);
+    }
+
+    #[test]
+    fn project_scores_match_reconstruction() {
+        let x = line_data(100, 0.2, 7);
+        let pca = Pca::fit(&x).unwrap();
+        let probe = x.row(20);
+        let scores = pca.project(probe, 2).unwrap();
+        // Reconstruction = sum of score_j * axis_j.
+        let mut manual = vec![0.0; 3];
+        for j in 0..2 {
+            for i in 0..3 {
+                manual[i] += scores[j] * pca.components()[(i, j)];
+            }
+        }
+        let hat = pca.reconstruct(probe, 2).unwrap();
+        for i in 0..3 {
+            assert!((manual[i] - hat[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_arguments() {
+        let x = line_data(50, 0.1, 8);
+        let pca = Pca::fit(&x).unwrap();
+        assert!(pca.project(&[1.0, 2.0], 1).is_err());
+        assert!(pca.project(&[1.0, 2.0, 3.0], 4).is_err());
+        assert!(Pca::fit(&Mat::zeros(1, 3)).is_err());
+        assert!(Pca::fit(&Mat::zeros(5, 0)).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! Direct solution of small dense linear systems.
+//!
+//! Multi-attribute identification (paper §4.2) repeatedly solves 4x4
+//! normal-equation systems `G f = b`; this module provides a
+//! partial-pivoting Gaussian elimination for exactly that job.
+
+use crate::{LinalgError, Mat};
+
+/// Solves the square system `a * x = b` by Gaussian elimination with
+/// partial pivoting.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] / [`LinalgError::ShapeMismatch`] on bad
+///   shapes.
+/// * [`LinalgError::Domain`] if the matrix is singular to working
+///   precision.
+pub fn solve(a: &Mat, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve",
+            lhs: a.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Augmented working copy.
+    let mut m = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: largest magnitude entry in this column.
+        let mut pivot_row = col;
+        let mut pivot_val = m[(col, col)].abs();
+        for row in (col + 1)..n {
+            let v = m[(row, col)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return Err(LinalgError::Domain {
+                what: "singular matrix in solve",
+            });
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = m[(col, j)];
+                m[(col, j)] = m[(pivot_row, j)];
+                m[(pivot_row, j)] = tmp;
+            }
+            x.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        let pivot = m[(col, col)];
+        for row in (col + 1)..n {
+            let factor = m[(row, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            m[(row, col)] = 0.0;
+            for j in (col + 1)..n {
+                let delta = factor * m[(col, j)];
+                m[(row, j)] -= delta;
+            }
+            x[row] -= factor * x[col];
+        }
+    }
+
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = x[col];
+        for j in (col + 1)..n {
+            acc -= m[(col, j)] * x[j];
+        }
+        x[col] = acc / m[(col, col)];
+    }
+    Ok(x)
+}
+
+/// Solves `(a + ridge*I) x = b` — a Tikhonov-regularized variant used when
+/// the normal equations can be singular (e.g. an OD flow whose entropy
+/// columns lie entirely inside the normal subspace).
+pub fn solve_regularized(a: &Mat, b: &[f64], ridge: f64) -> Result<Vec<f64>, LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    let mut reg = a.clone();
+    for i in 0..n {
+        reg[(i, i)] += ridge;
+    }
+    solve(&reg, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = Mat::identity(3);
+        let x = solve(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5; x + 3y = 10 => x = 1, y = 3.
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_small_for_random_systems() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = 6;
+            let a = Mat::from_fn(n, n, |_, _| rng.random::<f64>() - 0.5);
+            let b: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+            match solve(&a, &b) {
+                Ok(x) => {
+                    let ax = a.matvec(&x).unwrap();
+                    for (av, bv) in ax.iter().zip(&b) {
+                        assert!((av - bv).abs() < 1e-8, "residual too large");
+                    }
+                }
+                Err(_) => {
+                    // Singular draws are possible but astronomically rare.
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]),
+            Err(LinalgError::Domain { .. })
+        ));
+    }
+
+    #[test]
+    fn regularized_handles_singular() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let x = solve_regularized(&a, &[1.0, 2.0], 1e-6).unwrap();
+        // Solution approximately satisfies the (consistent) system.
+        let ax = a.matvec(&x).unwrap();
+        assert!((ax[0] - 1.0).abs() < 1e-3);
+        assert!((ax[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Mat::zeros(2, 3);
+        assert!(solve(&a, &[1.0, 2.0]).is_err());
+        let sq = Mat::identity(2);
+        assert!(solve(&sq, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_system() {
+        let a = Mat::zeros(0, 0);
+        assert!(solve(&a, &[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Scalar statistical functions.
+//!
+//! The Q-statistic detection threshold of Jackson & Mudholkar needs the
+//! `1 - alpha` quantile of the standard normal distribution. We implement
+//! Acklam's rational approximation for the quantile (relative error below
+//! `1.15e-9` over the full open unit interval) and, for verification, the
+//! normal CDF via an Abramowitz–Stegun style `erf` approximation.
+
+/// Standard normal cumulative distribution function `P(Z <= x)`.
+///
+/// Accurate to about `1e-7`, which is ample for round-trip testing of
+/// [`inv_norm_cdf`] and for reporting purposes.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26, |err| <= 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Inverse of the standard normal CDF (the quantile function).
+///
+/// Peter Acklam's rational approximation with the customary central /
+/// tail split; relative error below `1.15e-9` on `(0, 1)`.
+///
+/// Returns `NaN` outside `(0, 1)`, `-INFINITY` at 0 and `+INFINITY` at 1,
+/// mirroring the mathematical limits.
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+
+    // Coefficients for the central region rational approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    // Coefficients for the tail regions.
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        // Lower tail.
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        // Central region.
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        // Upper tail, by symmetry.
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    }
+}
+
+/// Chi-square quantile via the Wilson–Hilferty approximation:
+/// `χ²_p(k) ≈ k·(1 − 2/(9k) + z_p·sqrt(2/(9k)))³`.
+///
+/// Accurate to a few percent for `k >= 3`, which is ample for the robust
+/// trimming thresholds it backs. Returns `NaN` for `k == 0` or `p`
+/// outside `(0, 1)`.
+pub fn chi2_quantile(dof: usize, p: f64) -> f64 {
+    if dof == 0 || !(p > 0.0 && p < 1.0) {
+        return f64::NAN;
+    }
+    let k = dof as f64;
+    let z = inv_norm_cdf(p);
+    let c = 2.0 / (9.0 * k);
+    let base = 1.0 - c + z * c.sqrt();
+    k * base * base * base
+}
+
+/// Arithmetic mean of a slice; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (denominator `n - 1`); 0.0 for fewer than two
+/// elements.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 2e-4);
+        assert!((norm_cdf(-1.96) - 0.025).abs() < 2e-4);
+        assert!(norm_cdf(8.0) > 0.999999);
+        assert!(norm_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        // Classic z-scores.
+        assert!((inv_norm_cdf(0.5)).abs() < 1e-12);
+        assert!((inv_norm_cdf(0.975) - 1.959964).abs() < 1e-5);
+        assert!((inv_norm_cdf(0.995) - 2.575829).abs() < 1e-5);
+        assert!((inv_norm_cdf(0.999) - 3.090232).abs() < 1e-5);
+        assert!((inv_norm_cdf(0.025) + 1.959964).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(inv_norm_cdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(inv_norm_cdf(1.0), f64::INFINITY);
+        assert!(inv_norm_cdf(-0.1).is_nan());
+        assert!(inv_norm_cdf(1.1).is_nan());
+        assert!(inv_norm_cdf(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn quantile_is_symmetric() {
+        for &p in &[0.001, 0.01, 0.1, 0.3, 0.49] {
+            let lo = inv_norm_cdf(p);
+            let hi = inv_norm_cdf(1.0 - p);
+            assert!((lo + hi).abs() < 1e-9, "asymmetry at p={p}: {lo} vs {hi}");
+        }
+    }
+
+    #[test]
+    fn quantile_roundtrips_through_cdf() {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let x = inv_norm_cdf(p);
+            let back = norm_cdf(x);
+            assert!((back - p).abs() < 1e-6, "roundtrip failed at p={p}: {back}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..1000 {
+            let p = i as f64 / 1000.0;
+            let x = inv_norm_cdf(p);
+            assert!(x > prev, "not monotone at p={p}");
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn chi2_quantile_known_values() {
+        // chi2 with 10 dof: median ~9.34, 0.95 ~18.31, 0.99 ~23.21.
+        assert!((chi2_quantile(10, 0.5) - 9.34).abs() < 0.2);
+        assert!((chi2_quantile(10, 0.95) - 18.31).abs() < 0.4);
+        assert!((chi2_quantile(10, 0.99) - 23.21).abs() < 0.6);
+        // 1 dof at 0.95 is z^2 ~ 3.84 (Wilson-Hilferty is rougher here).
+        assert!((chi2_quantile(1, 0.95) - 3.84).abs() < 0.6);
+        assert!(chi2_quantile(0, 0.5).is_nan());
+        assert!(chi2_quantile(5, 0.0).is_nan());
+        assert!(chi2_quantile(5, 1.0).is_nan());
+    }
+
+    #[test]
+    fn chi2_quantile_monotone_in_p_and_dof() {
+        assert!(chi2_quantile(5, 0.9) < chi2_quantile(5, 0.99));
+        assert!(chi2_quantile(5, 0.9) < chi2_quantile(10, 0.9));
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        // Sample std of [2, 4, 4, 4, 5, 5, 7, 9] is sqrt(32/7).
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // The A&S 7.1.26 polynomial has |error| <= 1.5e-7 everywhere,
+        // including a ~1e-9 residual at the origin.
+        assert!((erf(0.0)).abs() < 1.5e-7);
+        assert!((erf(1.0) - 0.8427008).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427008).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953223).abs() < 1e-6);
+    }
+}

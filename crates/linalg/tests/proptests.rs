@@ -1,0 +1,136 @@
+//! Property-based tests for the dense linear-algebra kernels.
+//!
+//! These check algebraic identities on randomly generated inputs rather
+//! than hand-picked cases: transpose involution, (AB)^T = B^T A^T,
+//! eigen reconstruction, orthonormality, PCA residual orthogonality, and
+//! monotonicity/symmetry of the normal quantile.
+
+use entromine_linalg::{stats, sym_eigen, Mat, Pca};
+use proptest::prelude::*;
+
+/// Strategy: a rows x cols matrix with entries in [-10, 10].
+fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Mat::from_vec(rows, cols, data))
+}
+
+/// Strategy: a symmetric PSD matrix B^T B with B of shape (rows, n).
+fn psd_strategy(n: usize, rows: usize) -> impl Strategy<Value = Mat> {
+    mat_strategy(rows, n).prop_map(|b| {
+        b.transpose()
+            .matmul(&b)
+            .expect("shapes match by construction")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in mat_strategy(4, 7)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in mat_strategy(3, 4), b in mat_strategy(4, 5)) {
+        let ab_t = a.matmul(&b).unwrap().transpose();
+        let bt_at = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(ab_t.max_abs_diff(&bt_at).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_associates_with_vectors(a in mat_strategy(4, 4), v in proptest::collection::vec(-5.0f64..5.0, 4)) {
+        // (A A) v == A (A v)
+        let lhs = a.matmul(&a).unwrap().matvec(&v).unwrap();
+        let av = a.matvec(&v).unwrap();
+        let rhs = a.matvec(&av).unwrap();
+        for (l, r) in lhs.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd_diag(m in mat_strategy(12, 5)) {
+        let c = m.covariance().unwrap();
+        prop_assert!(c.is_symmetric(1e-9));
+        for i in 0..5 {
+            prop_assert!(c[(i, i)] >= -1e-12, "variance must be nonnegative");
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs(a in psd_strategy(5, 8)) {
+        let e = sym_eigen(&a).unwrap();
+        let n = a.rows();
+        let mut lam = Mat::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.values[i];
+        }
+        let recon = e.vectors.matmul(&lam).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        let scale = a.frobenius_norm().max(1.0);
+        prop_assert!(recon.max_abs_diff(&a).unwrap() < 1e-8 * scale);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_and_nonnegative_for_psd(a in psd_strategy(6, 9)) {
+        let e = sym_eigen(&a).unwrap();
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-10, "eigenvalues must be descending");
+        }
+        let scale = a.frobenius_norm().max(1.0);
+        for v in &e.values {
+            prop_assert!(*v >= -1e-9 * scale, "PSD eigenvalue negative: {}", v);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal(a in psd_strategy(5, 7)) {
+        let e = sym_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        prop_assert!(vtv.max_abs_diff(&Mat::identity(a.rows())).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn pca_residual_orthogonal_to_normal_part(m in mat_strategy(20, 4), row in 0usize..20) {
+        let pca = Pca::fit(&m).unwrap();
+        let x = m.row(row);
+        let hat = pca.reconstruct(x, 2).unwrap();
+        let tilde = pca.residual(x, 2).unwrap();
+        let dot: f64 = hat.iter().zip(&tilde).map(|(a, b)| a * b).sum();
+        let scale = (hat.iter().map(|v| v * v).sum::<f64>()
+            * tilde.iter().map(|v| v * v).sum::<f64>()).sqrt().max(1.0);
+        prop_assert!(dot.abs() < 1e-8 * scale, "normal and residual parts must be orthogonal");
+    }
+
+    #[test]
+    fn pca_spe_monotone_in_components(m in mat_strategy(25, 5), row in 0usize..25) {
+        let pca = Pca::fit(&m).unwrap();
+        let x = m.row(row);
+        let mut prev = f64::INFINITY;
+        for k in 0..=5 {
+            let spe = pca.spe(x, k).unwrap();
+            prop_assert!(spe <= prev + 1e-9, "SPE must not grow with more components");
+            prev = spe;
+        }
+    }
+
+    #[test]
+    fn quantile_monotone(p1 in 0.001f64..0.999, p2 in 0.001f64..0.999) {
+        let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+        prop_assume!(hi - lo > 1e-12);
+        prop_assert!(stats::inv_norm_cdf(lo) < stats::inv_norm_cdf(hi));
+    }
+
+    #[test]
+    fn quantile_roundtrip(p in 0.001f64..0.999) {
+        let x = stats::inv_norm_cdf(p);
+        prop_assert!((stats::norm_cdf(x) - p).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_antisymmetric(p in 0.001f64..0.5) {
+        let a = stats::inv_norm_cdf(p);
+        let b = stats::inv_norm_cdf(1.0 - p);
+        prop_assert!((a + b).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,318 @@
+//! NetFlow-style flow aggregation.
+//!
+//! The paper's data source is *sampled flow data* exported by routers
+//! (Cisco NetFlow / Juniper traffic sampling). [`FlowCache`] reproduces the
+//! relevant router behaviour: packets sharing a five-tuple accumulate into a
+//! [`FlowRecord`]; records are exported when the flow goes idle (inactive
+//! timeout), when it has been open too long (active timeout), or when the
+//! cache is flushed.
+
+use crate::ip::Ipv4;
+use crate::packet::{PacketHeader, Protocol};
+use std::collections::HashMap;
+
+/// The five-tuple identifying an IP flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source address.
+    pub src_ip: Ipv4,
+    /// Destination address.
+    pub dst_ip: Ipv4,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+}
+
+impl FlowKey {
+    /// The five-tuple of a packet.
+    pub fn of(pkt: &PacketHeader) -> Self {
+        FlowKey {
+            src_ip: pkt.src_ip,
+            dst_ip: pkt.dst_ip,
+            src_port: pkt.src_port,
+            dst_port: pkt.dst_port,
+            proto: pkt.proto,
+        }
+    }
+}
+
+/// An aggregated flow record, as a router would export it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// The five-tuple.
+    pub key: FlowKey,
+    /// Number of (sampled) packets in the flow.
+    pub packets: u64,
+    /// Total bytes across those packets.
+    pub bytes: u64,
+    /// Timestamp of the first packet (seconds).
+    pub first: u64,
+    /// Timestamp of the last packet (seconds).
+    pub last: u64,
+}
+
+impl FlowRecord {
+    fn from_packet(pkt: &PacketHeader) -> Self {
+        FlowRecord {
+            key: FlowKey::of(pkt),
+            packets: 1,
+            bytes: pkt.bytes as u64,
+            first: pkt.timestamp,
+            last: pkt.timestamp,
+        }
+    }
+
+    fn absorb(&mut self, pkt: &PacketHeader) {
+        self.packets += 1;
+        self.bytes += pkt.bytes as u64;
+        self.first = self.first.min(pkt.timestamp);
+        self.last = self.last.max(pkt.timestamp);
+    }
+
+    /// Duration of the flow in seconds (zero for single-packet flows).
+    pub fn duration(&self) -> u64 {
+        self.last - self.first
+    }
+}
+
+/// Timeouts governing when the cache exports a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowCacheConfig {
+    /// Export a flow that has seen no packet for this many seconds.
+    pub inactive_timeout: u64,
+    /// Export (and restart) a flow that has been open this long, as routers
+    /// do to bound record latency.
+    pub active_timeout: u64,
+}
+
+impl Default for FlowCacheConfig {
+    /// Cisco NetFlow's traditional defaults: 15 s inactive, 30 min active.
+    fn default() -> Self {
+        FlowCacheConfig {
+            inactive_timeout: 15,
+            active_timeout: 1800,
+        }
+    }
+}
+
+/// A router flow cache: aggregates packets into flow records and exports
+/// them on timeout.
+///
+/// Packets must be offered in non-decreasing timestamp order (as they are
+/// observed on a link). Call [`FlowCache::offer`] per packet and collect
+/// any records it expires; call [`FlowCache::flush`] at end of stream.
+#[derive(Debug)]
+pub struct FlowCache {
+    config: FlowCacheConfig,
+    active: HashMap<FlowKey, FlowRecord>,
+    last_sweep: u64,
+    /// How often (seconds of stream time) to sweep for inactive flows.
+    sweep_interval: u64,
+    exported: Vec<FlowRecord>,
+}
+
+impl FlowCache {
+    /// Creates an empty cache with the given timeouts.
+    pub fn new(config: FlowCacheConfig) -> Self {
+        FlowCache {
+            config,
+            active: HashMap::new(),
+            last_sweep: 0,
+            sweep_interval: config.inactive_timeout.max(1),
+            exported: Vec::new(),
+        }
+    }
+
+    /// Number of flows currently open in the cache.
+    pub fn open_flows(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Offers one packet to the cache; expired records accumulate
+    /// internally and are returned by [`take_exported`](Self::take_exported).
+    pub fn offer(&mut self, pkt: &PacketHeader) {
+        let now = pkt.timestamp;
+        // Periodic sweep of inactive flows, emulating the router's timer.
+        if now >= self.last_sweep + self.sweep_interval {
+            self.sweep(now);
+            self.last_sweep = now;
+        }
+        let key = FlowKey::of(pkt);
+        match self.active.get_mut(&key) {
+            Some(rec) => {
+                // Active timeout: export the long-lived flow and restart it.
+                if now.saturating_sub(rec.first) >= self.config.active_timeout {
+                    self.exported.push(*rec);
+                    *rec = FlowRecord::from_packet(pkt);
+                } else {
+                    rec.absorb(pkt);
+                }
+            }
+            None => {
+                self.active.insert(key, FlowRecord::from_packet(pkt));
+            }
+        }
+    }
+
+    /// Exports every flow idle since before `now - inactive_timeout`.
+    fn sweep(&mut self, now: u64) {
+        let deadline = now.saturating_sub(self.config.inactive_timeout);
+        let expired: Vec<FlowKey> = self
+            .active
+            .iter()
+            .filter(|(_, rec)| rec.last < deadline)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in expired {
+            if let Some(rec) = self.active.remove(&key) {
+                self.exported.push(rec);
+            }
+        }
+    }
+
+    /// Takes all records exported so far.
+    pub fn take_exported(&mut self) -> Vec<FlowRecord> {
+        std::mem::take(&mut self.exported)
+    }
+
+    /// Exports everything still open and returns all pending records.
+    pub fn flush(&mut self) -> Vec<FlowRecord> {
+        let mut out = std::mem::take(&mut self.exported);
+        out.extend(self.active.drain().map(|(_, rec)| rec));
+        out
+    }
+}
+
+/// One-shot helper: aggregate a packet slice into flow records with no
+/// timeout subtleties (each distinct five-tuple yields exactly one record).
+///
+/// This is what per-bin analysis uses, where flows are already delimited by
+/// the 5-minute bin boundary.
+pub fn aggregate_bin(packets: &[PacketHeader]) -> Vec<FlowRecord> {
+    let mut map: HashMap<FlowKey, FlowRecord> = HashMap::with_capacity(packets.len() / 4 + 1);
+    for pkt in packets {
+        match map.get_mut(&FlowKey::of(pkt)) {
+            Some(rec) => rec.absorb(pkt),
+            None => {
+                map.insert(FlowKey::of(pkt), FlowRecord::from_packet(pkt));
+            }
+        }
+    }
+    let mut records: Vec<FlowRecord> = map.into_values().collect();
+    // Deterministic output order for reproducibility.
+    records.sort_by_key(|r| {
+        (
+            r.key.src_ip,
+            r.key.dst_ip,
+            r.key.src_port,
+            r.key.dst_port,
+            r.key.proto.number(),
+        )
+    });
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(src: u32, sport: u16, dst: u32, dport: u16, ts: u64) -> PacketHeader {
+        PacketHeader::tcp(Ipv4(src), sport, Ipv4(dst), dport, 100, ts)
+    }
+
+    #[test]
+    fn same_five_tuple_aggregates() {
+        let mut cache = FlowCache::new(FlowCacheConfig::default());
+        cache.offer(&pkt(1, 10, 2, 80, 0));
+        cache.offer(&pkt(1, 10, 2, 80, 5));
+        cache.offer(&pkt(1, 10, 2, 80, 9));
+        assert_eq!(cache.open_flows(), 1);
+        let recs = cache.flush();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].packets, 3);
+        assert_eq!(recs[0].bytes, 300);
+        assert_eq!(recs[0].first, 0);
+        assert_eq!(recs[0].last, 9);
+        assert_eq!(recs[0].duration(), 9);
+    }
+
+    #[test]
+    fn different_tuples_do_not_merge() {
+        let mut cache = FlowCache::new(FlowCacheConfig::default());
+        cache.offer(&pkt(1, 10, 2, 80, 0));
+        cache.offer(&pkt(1, 11, 2, 80, 0)); // different src port
+        cache.offer(&pkt(3, 10, 2, 80, 0)); // different src ip
+        assert_eq!(cache.open_flows(), 3);
+    }
+
+    #[test]
+    fn inactive_timeout_exports() {
+        let mut cache = FlowCache::new(FlowCacheConfig {
+            inactive_timeout: 10,
+            active_timeout: 1000,
+        });
+        cache.offer(&pkt(1, 10, 2, 80, 0));
+        // A packet from another flow far in the future triggers the sweep.
+        cache.offer(&pkt(5, 10, 6, 80, 100));
+        let exported = cache.take_exported();
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].key.src_ip, Ipv4(1));
+        assert_eq!(cache.open_flows(), 1);
+    }
+
+    #[test]
+    fn active_timeout_restarts_flow() {
+        let mut cache = FlowCache::new(FlowCacheConfig {
+            inactive_timeout: 1000,
+            active_timeout: 60,
+        });
+        cache.offer(&pkt(1, 10, 2, 80, 0));
+        cache.offer(&pkt(1, 10, 2, 80, 30));
+        cache.offer(&pkt(1, 10, 2, 80, 61)); // crosses the active timeout
+        let exported = cache.take_exported();
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].packets, 2);
+        let rest = cache.flush();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].packets, 1);
+        assert_eq!(rest[0].first, 61);
+    }
+
+    #[test]
+    fn flush_drains_everything() {
+        let mut cache = FlowCache::new(FlowCacheConfig::default());
+        cache.offer(&pkt(1, 10, 2, 80, 0));
+        cache.offer(&pkt(3, 10, 4, 80, 0));
+        let recs = cache.flush();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(cache.open_flows(), 0);
+        assert!(cache.flush().is_empty());
+    }
+
+    #[test]
+    fn aggregate_bin_is_deterministic_and_complete() {
+        let packets = vec![
+            pkt(2, 10, 3, 80, 0),
+            pkt(1, 10, 3, 80, 1),
+            pkt(2, 10, 3, 80, 2),
+            pkt(1, 10, 3, 80, 3),
+        ];
+        let recs = aggregate_bin(&packets);
+        assert_eq!(recs.len(), 2);
+        // Sorted by src ip.
+        assert_eq!(recs[0].key.src_ip, Ipv4(1));
+        assert_eq!(recs[1].key.src_ip, Ipv4(2));
+        assert_eq!(recs[0].packets, 2);
+        assert_eq!(recs[1].packets, 2);
+        let total_bytes: u64 = recs.iter().map(|r| r.bytes).sum();
+        assert_eq!(total_bytes, 400);
+    }
+
+    #[test]
+    fn aggregate_empty_bin() {
+        assert!(aggregate_bin(&[]).is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! Packet headers: the unit of observation for feature distributions.
+//!
+//! The paper's analysis rests on exactly four header fields — source and
+//! destination address, source and destination port — observed in sampled
+//! packet streams. [`PacketHeader`] carries those four *traffic features*
+//! plus the protocol, packet size (for byte counts) and a timestamp (for
+//! 5-minute binning).
+
+use crate::ip::Ipv4;
+use std::fmt;
+
+/// Transport protocol of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Transmission Control Protocol.
+    Tcp,
+    /// User Datagram Protocol.
+    Udp,
+    /// Internet Control Message Protocol (ports are zero by convention).
+    Icmp,
+    /// Any other IP protocol number.
+    Other(u8),
+}
+
+impl Protocol {
+    /// The IANA protocol number.
+    pub const fn number(self) -> u8 {
+        match self {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(n) => n,
+        }
+    }
+
+    /// Builds a protocol from its IANA number.
+    pub const fn from_number(n: u8) -> Self {
+        match n {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Tcp => write!(f, "tcp"),
+            Protocol::Udp => write!(f, "udp"),
+            Protocol::Icmp => write!(f, "icmp"),
+            Protocol::Other(n) => write!(f, "proto{n}"),
+        }
+    }
+}
+
+/// A sampled packet header.
+///
+/// `timestamp` is in seconds from the start of the measurement epoch;
+/// `bytes` is the IP length of the packet. The struct is `Copy` and small
+/// (24 bytes) because the generator and samplers stream millions of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketHeader {
+    /// Source IP address.
+    pub src_ip: Ipv4,
+    /// Destination IP address.
+    pub dst_ip: Ipv4,
+    /// Source transport port (0 for port-less protocols).
+    pub src_port: u16,
+    /// Destination transport port (0 for port-less protocols).
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+    /// IP packet length in bytes.
+    pub bytes: u32,
+    /// Seconds from the start of the measurement epoch.
+    pub timestamp: u64,
+}
+
+impl PacketHeader {
+    /// Convenience constructor for a TCP packet.
+    pub fn tcp(
+        src_ip: Ipv4,
+        src_port: u16,
+        dst_ip: Ipv4,
+        dst_port: u16,
+        bytes: u32,
+        timestamp: u64,
+    ) -> Self {
+        PacketHeader {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: Protocol::Tcp,
+            bytes,
+            timestamp,
+        }
+    }
+
+    /// Convenience constructor for a UDP packet.
+    pub fn udp(
+        src_ip: Ipv4,
+        src_port: u16,
+        dst_ip: Ipv4,
+        dst_port: u16,
+        bytes: u32,
+        timestamp: u64,
+    ) -> Self {
+        PacketHeader {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: Protocol::Udp,
+            bytes,
+            timestamp,
+        }
+    }
+
+    /// Returns a copy with both addresses anonymized (Abilene's 11-bit mask).
+    pub fn anonymized(mut self) -> Self {
+        self.src_ip = self.src_ip.anonymize();
+        self.dst_ip = self.dst_ip.anonymize();
+        self
+    }
+
+    /// The 5-minute bin index of this packet for a given bin width.
+    pub fn bin(&self, bin_seconds: u64) -> u64 {
+        debug_assert!(bin_seconds > 0);
+        self.timestamp / bin_seconds
+    }
+}
+
+/// The four traffic features examined by the paper, in the column order of
+/// the unfolded multiway matrix `H = [srcIP | srcPort | dstIP | dstPort]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Feature {
+    /// Source IP address.
+    SrcIp,
+    /// Source transport port.
+    SrcPort,
+    /// Destination IP address.
+    DstIp,
+    /// Destination transport port.
+    DstPort,
+}
+
+/// All four features in canonical (unfolding) order.
+pub const FEATURES: [Feature; 4] = [
+    Feature::SrcIp,
+    Feature::SrcPort,
+    Feature::DstIp,
+    Feature::DstPort,
+];
+
+impl Feature {
+    /// Index of this feature in [`FEATURES`] order.
+    pub const fn index(self) -> usize {
+        match self {
+            Feature::SrcIp => 0,
+            Feature::SrcPort => 1,
+            Feature::DstIp => 2,
+            Feature::DstPort => 3,
+        }
+    }
+
+    /// Extracts this feature's value from a packet as a `u32` key.
+    ///
+    /// Ports are widened; addresses use their numeric value. The histogram
+    /// layer only needs a hashable key, not the semantic type.
+    pub fn extract(self, pkt: &PacketHeader) -> u32 {
+        match self {
+            Feature::SrcIp => pkt.src_ip.0,
+            Feature::SrcPort => pkt.src_port as u32,
+            Feature::DstIp => pkt.dst_ip.0,
+            Feature::DstPort => pkt.dst_port as u32,
+        }
+    }
+
+    /// Short human-readable name matching the paper's notation.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Feature::SrcIp => "srcIP",
+            Feature::SrcPort => "srcPort",
+            Feature::DstIp => "dstIP",
+            Feature::DstPort => "dstPort",
+        }
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_numbers_roundtrip() {
+        for p in [
+            Protocol::Tcp,
+            Protocol::Udp,
+            Protocol::Icmp,
+            Protocol::Other(47),
+        ] {
+            assert_eq!(Protocol::from_number(p.number()), p);
+        }
+        assert_eq!(Protocol::from_number(6), Protocol::Tcp);
+        assert_eq!(Protocol::from_number(17), Protocol::Udp);
+        assert_eq!(Protocol::from_number(1), Protocol::Icmp);
+    }
+
+    #[test]
+    fn header_is_small() {
+        // The generator streams millions of these; keep them lean.
+        assert!(std::mem::size_of::<PacketHeader>() <= 32);
+    }
+
+    #[test]
+    fn binning() {
+        let p = PacketHeader::udp(Ipv4::new(1, 2, 3, 4), 53, Ipv4::new(5, 6, 7, 8), 53, 64, 601);
+        assert_eq!(p.bin(300), 2);
+        assert_eq!(p.bin(600), 1);
+        assert_eq!(p.bin(602), 0);
+    }
+
+    #[test]
+    fn anonymization_applies_to_both_addresses() {
+        let p = PacketHeader::tcp(
+            Ipv4::new(10, 0, 5, 77),
+            1234,
+            Ipv4::new(10, 8, 3, 200),
+            80,
+            1500,
+            0,
+        );
+        let a = p.anonymized();
+        assert_eq!(a.src_ip, Ipv4::new(10, 0, 0, 0));
+        assert_eq!(a.dst_ip, Ipv4::new(10, 8, 0, 0));
+        assert_eq!(a.src_port, 1234);
+        assert_eq!(a.dst_port, 80);
+    }
+
+    #[test]
+    fn feature_extraction() {
+        let p = PacketHeader::tcp(
+            Ipv4::new(10, 0, 0, 1),
+            1234,
+            Ipv4::new(10, 0, 0, 2),
+            80,
+            1500,
+            0,
+        );
+        assert_eq!(Feature::SrcIp.extract(&p), Ipv4::new(10, 0, 0, 1).0);
+        assert_eq!(Feature::SrcPort.extract(&p), 1234);
+        assert_eq!(Feature::DstIp.extract(&p), Ipv4::new(10, 0, 0, 2).0);
+        assert_eq!(Feature::DstPort.extract(&p), 80);
+    }
+
+    #[test]
+    fn feature_order_matches_unfolding() {
+        assert_eq!(FEATURES[0], Feature::SrcIp);
+        assert_eq!(FEATURES[1], Feature::SrcPort);
+        assert_eq!(FEATURES[2], Feature::DstIp);
+        assert_eq!(FEATURES[3], Feature::DstPort);
+        for (i, f) in FEATURES.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+    }
+
+    #[test]
+    fn feature_names() {
+        assert_eq!(Feature::SrcIp.name(), "srcIP");
+        assert_eq!(Feature::DstPort.to_string(), "dstPort");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the network substrate.
+
+use entromine_net::sample::{thin_periodic, PeriodicSampler};
+use entromine_net::{AddressPlan, Ipv4, OdIndexer, OdPair, PacketHeader, Prefix, PrefixTable, Topology};
+use proptest::prelude::*;
+
+fn arb_ip() -> impl Strategy<Value = Ipv4> {
+    any::<u32>().prop_map(Ipv4)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(Ipv4(addr), len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ip_display_parse_roundtrip(ip in arb_ip()) {
+        let s = ip.to_string();
+        let back: Ipv4 = s.parse().unwrap();
+        prop_assert_eq!(back, ip);
+    }
+
+    #[test]
+    fn prefix_contains_its_bounds(p in arb_prefix()) {
+        prop_assert!(p.contains(p.first()));
+        prop_assert!(p.contains(p.last()));
+    }
+
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        let back: Prefix = s.parse().unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn anonymization_is_idempotent_and_coarsens(ip in arb_ip()) {
+        let once = ip.anonymize();
+        prop_assert_eq!(once.anonymize(), once);
+        // Anonymized address shares the /21 of the original.
+        let p21 = Prefix::new(ip, 21);
+        prop_assert!(p21.contains(once));
+    }
+
+    #[test]
+    fn lpm_most_specific_wins(ip in arb_ip(), l1 in 1u8..=16, l2 in 17u8..=32) {
+        // Install a covering short prefix and a longer prefix containing ip;
+        // lookup must return the longer one.
+        let mut t = PrefixTable::new();
+        t.insert(Prefix::new(ip, l1), 1);
+        t.insert(Prefix::new(ip, l2), 2);
+        prop_assert_eq!(t.lookup(ip), Some(2));
+    }
+
+    #[test]
+    fn lpm_agrees_with_linear_scan(ip in arb_ip(), prefixes in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..20)) {
+        let mut t = PrefixTable::new();
+        let mut entries = Vec::new();
+        for (i, (addr, len)) in prefixes.iter().enumerate() {
+            let p = Prefix::new(Ipv4(*addr), *len);
+            t.insert(p, i);
+            entries.push((p, i));
+        }
+        // Linear reference: longest prefix containing ip; among duplicate
+        // installs of the same prefix the most recent wins, which
+        // max_by_key provides (it returns the last of equal keys, and two
+        // distinct equal-length prefixes cannot both contain one address).
+        let expected = entries
+            .iter()
+            .filter(|(p, _)| p.contains(ip))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(_, v)| *v);
+        prop_assert_eq!(t.lookup(ip), expected);
+    }
+
+    #[test]
+    fn od_index_bijection(n in 1usize..30, o in 0usize..30, d in 0usize..30) {
+        prop_assume!(o < n && d < n);
+        let ix = OdIndexer::new(n);
+        let idx = ix.index(OdPair::new(o, d));
+        prop_assert!(idx < ix.n_flows());
+        prop_assert_eq!(ix.pair(idx), OdPair::new(o, d));
+    }
+
+    #[test]
+    fn periodic_sampler_count_is_exact(len in 0usize..5000, n in 1u64..500) {
+        let packets: Vec<PacketHeader> = (0..len)
+            .map(|i| PacketHeader::udp(Ipv4(i as u32), 1, Ipv4(2), 2, 10, i as u64))
+            .collect();
+        let mut s = PeriodicSampler::new(n);
+        let kept = s.sample(&packets);
+        // ceil(len / n) packets are selected.
+        let expected = (len as u64).div_ceil(n);
+        prop_assert_eq!(kept.len() as u64, expected);
+    }
+
+    #[test]
+    fn thinning_never_grows(len in 0usize..2000, f in 0u64..50) {
+        let packets: Vec<PacketHeader> = (0..len)
+            .map(|i| PacketHeader::udp(Ipv4(i as u32), 1, Ipv4(2), 2, 10, i as u64))
+            .collect();
+        let thinned = thin_periodic(&packets, f);
+        prop_assert!(thinned.len() <= packets.len());
+        if f <= 1 {
+            prop_assert_eq!(thinned.len(), packets.len());
+        }
+    }
+
+    #[test]
+    fn plan_hosts_always_resolve_home(pop in 0usize..11, i in 0u64..100_000) {
+        let topo = Topology::abilene();
+        let plan = AddressPlan::standard(&topo);
+        prop_assert_eq!(plan.resolve(plan.host(pop, i)), Some(pop));
+    }
+}

@@ -1,0 +1,55 @@
+//! §5 anonymization ablation: detection counts with and without the
+//! 11-bit address mask.
+//!
+//! The paper: "we anonymized one week of Geant data, applied our detection
+//! methods, and compared ... in the anonymized data, we detected 128
+//! anomalies, whereas in the unanonymized data, we found 132" — i.e.
+//! anonymization costs only a handful of detections. This binary runs the
+//! same experiment on a Geant-like dataset generated twice from one seed,
+//! differing only in the anonymization flag.
+
+use entromine::net::Topology;
+use entromine_repro::{banner, csv, diagnose, geant_config, scheduled_dataset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("§5 — anonymization ablation", "§5 (Data)", scale);
+
+    let mut results = Vec::new();
+    for anonymize in [true, false] {
+        let mut config = geant_config(55, scale);
+        config.n_bins = config.n_bins.min(2 * 288);
+        config.anonymize = anonymize;
+        eprintln!(
+            "== generating Geant-like dataset ({}) ...",
+            if anonymize { "anonymized /21" } else { "raw addresses" }
+        );
+        let dataset = scheduled_dataset(Topology::geant(), config, 55);
+        let (_f, report) = diagnose(&dataset);
+        results.push((anonymize, report.total(), report.entropy_only(), report.volume_only(), report.both()));
+    }
+
+    let mut out = csv::create("anon_ablation.csv");
+    csv::row(
+        &mut out,
+        &["anonymized,total,entropy_only,volume_only,both".into()],
+    );
+    println!("\n{:>12} {:>7} {:>13} {:>12} {:>6}", "addresses", "total", "entropy-only", "volume-only", "both");
+    for (anon, total, e, v, b) in &results {
+        println!(
+            "{:>12} {:>7} {:>13} {:>12} {:>6}",
+            if *anon { "anonymized" } else { "raw" },
+            total,
+            e,
+            v,
+            b
+        );
+        csv::row(&mut out, &[format!("{anon},{total},{e},{v},{b}")]);
+    }
+    let (_, anon_total, ..) = results[0];
+    let (_, raw_total, ..) = results[1];
+    println!(
+        "\nanonymized {anon_total} vs raw {raw_total}   [paper: 128 vs 132 — \
+         a difference of a few detections]\nwrote results/anon_ablation.csv"
+    );
+}

@@ -1,0 +1,89 @@
+//! Figure 1: distribution changes induced by a port scan anomaly.
+//!
+//! The paper's Figure 1 shows rank-ordered histograms of destination ports
+//! (dispersed by the scan) and destination addresses (concentrated on the
+//! victim) for a typical 5-minute bin vs the bin containing the scan.
+//! This binary regenerates both panels as CSV series plus a textual
+//! summary of the headline numbers the figure conveys.
+
+use entromine::entropy::{sample_entropy, Feature};
+use entromine::net::Topology;
+use entromine::synth::anomaly::anomaly_packets;
+use entromine::synth::{AnomalyLabel, Dataset};
+use entromine_repro::{abilene_config, banner, csv, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 1 — port-scan feature histograms", "§3, Figure 1", scale);
+
+    let mut config = abilene_config(1, scale);
+    config.n_bins = 288; // one day is plenty for two histograms
+    let dataset = Dataset::clean(Topology::abilene(), config);
+    // Target a small OD flow, as the paper's Figure 1 anomaly does: the
+    // scan must dominate its bin for the concentration to be visible
+    // (the paper's victim address outnumbers the normal top address 500
+    // to 30).
+    let flow = (0..dataset.n_flows())
+        .min_by_key(|&f| (dataset.net.rates().base_rate(f) - 1500.0).abs() as u64)
+        .unwrap();
+    let scan_size = (1.5 * dataset.net.rates().base_rate(flow)) as u64;
+    let normal_bin = 150;
+    let scan_bin = 200;
+
+    // Normal bin: baseline histograms.
+    let normal = dataset.net.baseline_cell(normal_bin, flow);
+
+    // Scan bin: baseline plus the scan's packets.
+    let mut scanned = dataset.net.baseline_cell(scan_bin, flow);
+    let od = dataset.net.indexer().pair(flow);
+    let scan_packets = anomaly_packets(
+        AnomalyLabel::PortScan,
+        dataset.net.plan(),
+        od,
+        scan_size,
+        scan_bin as u64 * 300,
+        77,
+    );
+    scanned.add_packets(&scan_packets);
+
+    let mut out = csv::create("fig1_histograms.csv");
+    csv::row(&mut out, &["panel,rank,count".into()]);
+    let panels = [
+        ("dstPort_normal", normal.histogram(Feature::DstPort)),
+        ("dstPort_scan", scanned.histogram(Feature::DstPort)),
+        ("dstIP_normal", normal.histogram(Feature::DstIp)),
+        ("dstIP_scan", scanned.histogram(Feature::DstIp)),
+    ];
+    for (name, hist) in panels {
+        for (rank, count) in hist.rank_ordered_counts().iter().take(500).enumerate() {
+            csv::row(&mut out, &[format!("{name},{},{}", rank + 1, count)]);
+        }
+    }
+
+    println!("\nheadline numbers (paper: ports disperse, addresses concentrate):");
+    println!(
+        "{:>22} {:>14} {:>14} {:>16} {:>12}",
+        "panel", "distinct", "top count", "total packets", "entropy"
+    );
+    for (name, hist) in [
+        ("dstPort normal", normal.histogram(Feature::DstPort)),
+        ("dstPort during scan", scanned.histogram(Feature::DstPort)),
+        ("dstIP normal", normal.histogram(Feature::DstIp)),
+        ("dstIP during scan", scanned.histogram(Feature::DstIp)),
+    ] {
+        println!(
+            "{:>22} {:>14} {:>14} {:>16} {:>12.3}",
+            name,
+            hist.distinct(),
+            hist.heavy_hitter().map(|(_, c)| c).unwrap_or(0),
+            hist.total(),
+            sample_entropy(hist)
+        );
+    }
+    println!("\nwrote results/fig1_histograms.csv");
+    println!(
+        "expected shape: dstPort distinct count explodes during the scan while\n\
+         its top count stays flat; dstIP gains a single dominant value (the\n\
+         victim) — matching the paper's upper/lower panels."
+    );
+}

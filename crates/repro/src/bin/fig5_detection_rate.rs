@@ -1,0 +1,119 @@
+//! Figure 5: detection rate vs thinning factor for the three traces.
+//!
+//! §6.3.2: each trace is injected in turn into every OD flow of a clean
+//! bin; the detection rate over OD flows is reported per thinning factor,
+//! for volume-alone vs volume+entropy, at α = 0.999 and α = 0.995.
+//!
+//! Expected shape (paper Figure 5): all methods catch the unthinned
+//! attacks; as thinning grows, volume detection collapses first while
+//! entropy holds on — e.g. 80% detection for worm scans at a fraction of
+//! a percent of flow traffic.
+
+use entromine::net::Topology;
+use entromine::synth::distr::poisson;
+use entromine::synth::traces::{sampled_attack_packets, sampled_count};
+use entromine::synth::TraceKind;
+use entromine_repro::{abilene_config, banner, csv, InjectionBench, Scale};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 5 — detection rate vs thinning",
+        "§6.3.2, Figure 5(a)-(c)",
+        scale,
+    );
+
+    let mut config = abilene_config(5, scale);
+    // The clean model only needs a solid training window.
+    config.n_bins = config.n_bins.min(2 * 288);
+    eprintln!("building the injection bench (clean dataset + fitted model) ...");
+    let bench = InjectionBench::new(Topology::abilene(), config.clone(), 200);
+    let alphas = [0.999, 0.995];
+    let cases: [(TraceKind, &[u64]); 3] = [
+        (TraceKind::DosSingle, &[0, 10, 100, 1000, 10_000, 100_000]),
+        (TraceKind::DosMulti, &[0, 10, 100, 1000, 10_000, 100_000]),
+        (TraceKind::WormScan, &[0, 10, 100, 500, 1000]),
+    ];
+
+    let mut out = csv::create("fig5_detection_rate.csv");
+    csv::row(
+        &mut out,
+        &["trace,thinning,alpha,volume_rate,volume_plus_entropy_rate,mean_pkts_per_bin".into()],
+    );
+
+    let n_flows = bench.dataset.n_flows();
+    let mut rng = SmallRng::seed_from_u64(0xF195);
+    for (kind, factors) in cases {
+        println!("\n== {} ({:.3e} pps raw)", kind.name(), kind.intensity_pps());
+        println!(
+            "{:>9} {:>13} | {:>11} {:>13} | {:>11} {:>13}",
+            "thinning", "pkts/bin", "vol@.999", "vol+ent@.999", "vol@.995", "vol+ent@.995"
+        );
+        for &factor in factors {
+            let mean = sampled_count(
+                kind,
+                factor,
+                config.sample_rate,
+                300,
+                config.traffic_scale,
+            );
+            let mut rates = Vec::new();
+            for &alpha in &alphas {
+                let (tb, tp, te) = bench.thresholds(alpha);
+                let mut vol_hits = 0usize;
+                let mut any_hits = 0usize;
+                for flow in 0..n_flows {
+                    let od = bench.dataset.net.indexer().pair(flow);
+                    let n = poisson(&mut rng, mean);
+                    let pkts = sampled_attack_packets(
+                        kind,
+                        bench.dataset.net.plan(),
+                        od,
+                        n,
+                        bench.bin as u64 * 300,
+                        0x5EED ^ (flow as u64) << 7 ^ factor,
+                    );
+                    let (b, p, e) = bench.evaluate(&[(flow, &pkts)]);
+                    let vol = b > tb || p > tp;
+                    if vol {
+                        vol_hits += 1;
+                    }
+                    if vol || e > te {
+                        any_hits += 1;
+                    }
+                }
+                let vol_rate = vol_hits as f64 / n_flows as f64;
+                let any_rate = any_hits as f64 / n_flows as f64;
+                rates.push((vol_rate, any_rate));
+                csv::row(
+                    &mut out,
+                    &[format!(
+                        "{},{},{},{:.4},{:.4},{:.1}",
+                        kind.name(),
+                        factor,
+                        alpha,
+                        vol_rate,
+                        any_rate,
+                        mean
+                    )],
+                );
+            }
+            println!(
+                "{:>9} {:>13.1} | {:>10.0}% {:>12.0}% | {:>10.0}% {:>12.0}%",
+                factor,
+                mean,
+                100.0 * rates[0].0,
+                100.0 * rates[0].1,
+                100.0 * rates[1].0,
+                100.0 * rates[1].1
+            );
+        }
+    }
+    println!(
+        "\nexpected shape: volume+entropy dominates volume-alone at every thinning,\n\
+         with the gap widest in the low-intensity tail (paper Figure 5).\n\
+         wrote results/fig5_detection_rate.csv"
+    );
+}

@@ -1,0 +1,124 @@
+//! Figure 6: detecting DDOS attacks split across k OD flows.
+//!
+//! §6.3.2: the multi-source DDOS trace is partitioned by source into k
+//! equal-traffic groups injected into k OD flows sharing a destination
+//! PoP; detection rate is reported per (k, thinning) at both thresholds.
+//!
+//! Expected shape (paper Figure 6): detection rates *increase* with k —
+//! attacks individually dwarfed in each flow remain visible network-wide,
+//! the multiway method's headline property.
+
+use entromine::net::{OdPair, Topology};
+use entromine::synth::distr::poisson;
+use entromine::synth::traces::{sampled_attack_packets, sampled_count};
+use entromine::synth::TraceKind;
+use entromine_repro::{abilene_config, banner, choose, csv, for_each_combination, InjectionBench, Scale};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 6 — multi-OD-flow DDOS detection",
+        "§6.3.2, Figure 6(a)/(b)",
+        scale,
+    );
+
+    let mut config = abilene_config(6, scale);
+    config.n_bins = config.n_bins.min(2 * 288);
+    eprintln!("building the injection bench ...");
+    let bench = InjectionBench::new(Topology::abilene(), config.clone(), 150);
+    let p = bench.dataset.net.indexer().n_pops();
+    let kind = TraceKind::DosMulti;
+
+    // The paper sweeps every combination of k origins for every
+    // destination PoP; quick mode caps combinations per (k, dest) to keep
+    // the grid tractable on two cores.
+    let combo_cap = match scale {
+        Scale::Quick => 12,
+        Scale::Full => usize::MAX,
+    };
+    let thinnings: &[u64] = &[100, 1000, 10_000];
+    let alphas = [0.999, 0.995];
+
+    let mut out = csv::create("fig6_multiflow.csv");
+    csv::row(
+        &mut out,
+        &["k,thinning,alpha,detection_rate,experiments,pkts_per_flow".into()],
+    );
+
+    for &alpha in &alphas {
+        let (tb, tp, te) = bench.thresholds(alpha);
+        println!("\n== detection threshold alpha = {alpha}");
+        print!("{:>4} |", "k");
+        for &f in thinnings {
+            print!(" {:>11}", format!("thin {f}"));
+        }
+        println!();
+        for k in 2..=p {
+            print!("{:>4} |", k);
+            for &factor in thinnings {
+                // Total attack packets per bin, split across k flows.
+                let total = sampled_count(kind, factor, config.sample_rate, 300, config.traffic_scale);
+                let per_flow = total / k as f64;
+                let mut experiments = 0usize;
+                let mut hits = 0usize;
+                let mut rng = SmallRng::seed_from_u64(
+                    0xF166 ^ (k as u64) << 32 ^ factor ^ ((alpha * 1000.0) as u64) << 16,
+                );
+                for dest in 0..p {
+                    let origins: Vec<usize> = (0..p).filter(|&o| o != dest).collect();
+                    for_each_combination(origins.len(), k.min(origins.len()), combo_cap, |combo| {
+                        // Build the k-flow injection.
+                        let mut packet_sets = Vec::with_capacity(k);
+                        for &oi in combo {
+                            let od = OdPair::new(origins[oi], dest);
+                            let n = poisson(&mut rng, per_flow);
+                            packet_sets.push((
+                                bench.dataset.net.indexer().index(od),
+                                sampled_attack_packets(
+                                    kind,
+                                    bench.dataset.net.plan(),
+                                    od,
+                                    n,
+                                    bench.bin as u64 * 300,
+                                    0xDD05 ^ (dest as u64) << 40 ^ (oi as u64) << 20 ^ factor,
+                                ),
+                            ));
+                        }
+                        let injections: Vec<(usize, &[_])> = packet_sets
+                            .iter()
+                            .map(|(f, pkts)| (*f, pkts.as_slice()))
+                            .collect();
+                        let (b, pk, e) = bench.evaluate(&injections);
+                        experiments += 1;
+                        if b > tb || pk > tp || e > te {
+                            hits += 1;
+                        }
+                    });
+                }
+                let rate = hits as f64 / experiments.max(1) as f64;
+                print!(" {:>10.0}%", 100.0 * rate);
+                csv::row(
+                    &mut out,
+                    &[format!(
+                        "{k},{factor},{alpha},{rate:.4},{experiments},{per_flow:.2}"
+                    )],
+                );
+            }
+            println!();
+        }
+        let full = choose(p - 1, 2) * p;
+        println!(
+            "  (quick mode samples up to {combo_cap} of the {} k=2 origin combinations per dest; \
+             --full sweeps all {} experiments per cell)",
+            choose(p - 1, 2),
+            full
+        );
+    }
+    println!(
+        "\nexpected shape: rates rise with k at fixed thinning — a DDOS split 11\n\
+         ways is *easier* to see network-wide than one concentrated in a flow.\n\
+         wrote results/fig6_multiflow.csv"
+    );
+}

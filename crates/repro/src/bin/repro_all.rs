@@ -1,0 +1,55 @@
+//! Runs every reproduction binary in sequence (quick scale by default).
+//!
+//! ```sh
+//! cargo run --release -p entromine-repro --bin repro_all [-- --full]
+//! ```
+//!
+//! Equivalent to invoking each experiment binary yourself; exists so a
+//! single command regenerates every table and figure into `results/`.
+
+use std::process::Command;
+
+const BINARIES: [&str; 12] = [
+    "table5_intensity",
+    "fig1_histograms",
+    "fig2_timeseries",
+    "fig4_scatter",
+    "table23_detections",
+    "fig5_detection_rate",
+    "fig6_multiflow",
+    "fig7_known_clusters",
+    "classify_abilene",
+    "classify_geant",
+    "anon_ablation",
+    "ablations",
+];
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        println!("\n########## {bin} ##########");
+        let mut cmd = Command::new(std::env::current_exe().expect("self path")
+            .parent().expect("bin dir").join(bin));
+        if full {
+            cmd.arg("--full");
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{bin} exited with {status}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to launch: {e}");
+                failures.push(bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments complete; outputs in results/");
+    } else {
+        eprintln!("\nexperiments FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Tables 2 and 3: detection counts by method and by anomaly type.
+//!
+//! Table 2 counts bins detected by volume only / entropy only / both, for
+//! both networks. Table 3 breaks the Abilene detections down by manually
+//! inspected anomaly label — here, by ground-truth label of the injected
+//! events, with unmatched detections as the false-alarm row.
+//!
+//! Absolute counts depend on the injection schedule (we control it; the
+//! authors' networks experienced whatever they experienced), so the
+//! *shape* to compare is: entropy contributes a large set of additional
+//! detections disjoint from volume's; scans and point-to-multipoint events
+//! are found only by entropy; alpha flows dominate volume detections.
+
+use entromine::net::Topology;
+use entromine::synth::AnomalyLabel;
+use entromine::{label_breakdown, match_truth, MatchOutcome};
+use entromine_repro::{abilene_config, banner, csv, diagnose, geant_config, scheduled_dataset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Tables 2 & 3 — detections by method and label",
+        "§6.1 Table 2, §6.2 Table 3",
+        scale,
+    );
+
+    let mut table2 = Vec::new();
+    let mut out2 = csv::create("table2_detections.csv");
+    csv::row(
+        &mut out2,
+        &["network,volume_only,entropy_only,both,total,false_alarms".into()],
+    );
+
+    for (name, topology, config) in [
+        ("Abilene", Topology::abilene(), abilene_config(23, scale)),
+        ("Geant", Topology::geant(), geant_config(24, scale)),
+    ] {
+        eprintln!("== generating {name}-like dataset ...");
+        let dataset = scheduled_dataset(topology, config, 23);
+        let (_fitted, report) = diagnose(&dataset);
+        let outcomes = match_truth(&report, &dataset.truth);
+        let fas = outcomes
+            .iter()
+            .filter(|o| matches!(o, MatchOutcome::FalseAlarm))
+            .count();
+        csv::row(
+            &mut out2,
+            &[format!(
+                "{name},{},{},{},{},{}",
+                report.volume_only(),
+                report.entropy_only(),
+                report.both(),
+                report.total(),
+                fas
+            )],
+        );
+        table2.push((name, report, dataset, fas));
+    }
+
+    println!("\n== Table 2: number of detections in entropy and volume metrics");
+    println!(
+        "{:>9} {:>13} {:>14} {:>6} {:>7} {:>13}",
+        "network", "volume only", "entropy only", "both", "total", "false alarms"
+    );
+    for (name, report, dataset, fas) in &table2 {
+        println!(
+            "{:>9} {:>13} {:>14} {:>6} {:>7} {:>13}",
+            name,
+            report.volume_only(),
+            report.entropy_only(),
+            report.both(),
+            report.total(),
+            fas
+        );
+        let _ = dataset;
+    }
+    println!(
+        "(paper, 3 weeks: Geant 464/461/86, Abilene 152/258/34 — the shape to\n\
+         match is a large disjoint entropy-only set in both networks)"
+    );
+
+    // Table 3 over the Abilene dataset.
+    let (_, report, dataset, fas) = &table2[0];
+    println!("\n== Table 3: range of anomalies found in Abilene by label");
+    println!(
+        "{:>18} {:>9} {:>16} {:>21} {:>7}",
+        "label", "injected", "found in volume", "additional in entropy", "missed"
+    );
+    let mut out3 = csv::create("table3_labels.csv");
+    csv::row(
+        &mut out3,
+        &["label,injected,found_in_volume,additional_in_entropy,missed".into()],
+    );
+    for row in label_breakdown(report, &dataset.truth) {
+        println!(
+            "{:>18} {:>9} {:>16} {:>21} {:>7}",
+            row.label.name(),
+            row.injected,
+            row.found_in_volume,
+            row.additional_in_entropy,
+            row.missed
+        );
+        csv::row(
+            &mut out3,
+            &[format!(
+                "{},{},{},{},{}",
+                row.label.name(),
+                row.injected,
+                row.found_in_volume,
+                row.additional_in_entropy,
+                row.missed
+            )],
+        );
+    }
+    println!("{:>18} {:>9} {:>16} {:>21} {:>7}", "False Alarm", "-", "-", "-", fas);
+
+    // The paper's headline claim from Table 3.
+    let rows = label_breakdown(report, &dataset.truth);
+    let scan_rows: Vec<_> = rows
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.label,
+                AnomalyLabel::PortScan | AnomalyLabel::NetworkScan | AnomalyLabel::PointToMultipoint
+            )
+        })
+        .collect();
+    let scans_in_volume: usize = scan_rows.iter().map(|r| r.found_in_volume).sum();
+    let scans_in_entropy: usize = scan_rows.iter().map(|r| r.additional_in_entropy).sum();
+    println!(
+        "\nscans + point-to-multipoint: {scans_in_volume} in volume vs {scans_in_entropy} \
+         additional in entropy\n(paper: NONE of these were detected via volume metrics)"
+    );
+    println!("wrote results/table2_detections.csv and results/table3_labels.csv");
+}

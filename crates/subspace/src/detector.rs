@@ -1,0 +1,289 @@
+//! The single-way subspace method (Lakhina et al., SIGCOMM 2004).
+
+use crate::qstat::q_statistic_threshold;
+use crate::SubspaceError;
+use entromine_linalg::{Mat, Pca};
+
+/// How the dimension of the normal subspace is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DimSelection {
+    /// Use exactly this many principal components.
+    ///
+    /// The paper found "a knee in the amount of variance captured at
+    /// m ≈ 10 (which accounted for 85% of the total variance)" and fixed
+    /// m = 10 for both networks.
+    Fixed(usize),
+    /// Use the smallest dimension capturing at least this variance
+    /// fraction (e.g. `0.85`).
+    VarianceFraction(f64),
+}
+
+impl Default for DimSelection {
+    fn default() -> Self {
+        DimSelection::Fixed(10)
+    }
+}
+
+/// One detection: a time bin whose squared residual exceeded the threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Index of the offending time bin (row of the measurement matrix).
+    pub bin: usize,
+    /// The squared prediction error `||x̃||²` at that bin.
+    pub spe: f64,
+    /// The Q-statistic threshold the SPE exceeded.
+    pub threshold: f64,
+}
+
+/// A fitted subspace model over a `t x n` measurement matrix.
+///
+/// Rows are timepoints; columns are the correlated variables (OD-flow byte
+/// counts, packet counts, or unfolded entropy). The leading `m` principal
+/// axes span the normal subspace; everything else is residual.
+#[derive(Debug, Clone)]
+pub struct SubspaceModel {
+    pca: Pca,
+    m: usize,
+}
+
+impl SubspaceModel {
+    /// Fits the model to `x` and selects the normal-subspace dimension.
+    ///
+    /// # Errors
+    ///
+    /// Fails on degenerate input (fewer than two rows, zero columns) or if
+    /// the requested dimension does not leave a non-empty residual space.
+    pub fn fit(x: &Mat, dim: DimSelection) -> Result<Self, SubspaceError> {
+        if x.rows() < 2 {
+            return Err(SubspaceError::BadInput(
+                "need at least two timepoints to model variation",
+            ));
+        }
+        let pca = Pca::fit(x)?;
+        let n = x.cols();
+        let m = match dim {
+            DimSelection::Fixed(m) => m,
+            DimSelection::VarianceFraction(f) => {
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(SubspaceError::BadInput(
+                        "variance fraction must lie in [0, 1]",
+                    ));
+                }
+                pca.dims_for_variance(f)
+            }
+        };
+        if m >= n {
+            return Err(SubspaceError::BadDimension {
+                requested: m,
+                available: n,
+            });
+        }
+        Ok(SubspaceModel { pca, m })
+    }
+
+    /// Dimension of the normal subspace.
+    pub fn normal_dim(&self) -> usize {
+        self.m
+    }
+
+    /// Number of variables (columns) the model was fitted on.
+    pub fn n_vars(&self) -> usize {
+        self.pca.dim()
+    }
+
+    /// The underlying PCA (means, axes, spectrum).
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+
+    /// Fraction of variance the normal subspace captures.
+    pub fn explained_variance(&self) -> f64 {
+        self.pca.explained_variance_ratio(self.m)
+    }
+
+    /// Squared prediction error of one observation row.
+    pub fn spe(&self, row: &[f64]) -> Result<f64, SubspaceError> {
+        Ok(self.pca.spe(row, self.m)?)
+    }
+
+    /// The residual vector `x̃` of one observation row.
+    pub fn residual(&self, row: &[f64]) -> Result<Vec<f64>, SubspaceError> {
+        Ok(self.pca.residual(row, self.m)?)
+    }
+
+    /// The Q-statistic threshold `δ²_α` for this model.
+    pub fn threshold(&self, alpha: f64) -> Result<f64, SubspaceError> {
+        q_statistic_threshold(self.pca.eigenvalues(), self.m, alpha)
+    }
+
+    /// Hotelling's T² statistic of one observation: the variance-weighted
+    /// squared magnitude of its normal-subspace scores,
+    /// `Σ_{j<m} score_j² / λ_j`.
+    ///
+    /// SPE is blind to anomalies whose direction the PCA absorbed into the
+    /// normal subspace; such observations instead show an extreme score
+    /// along the stolen axis, which T² exposes. The diagnosis pipeline
+    /// uses T² (against a `χ²_m` quantile, [`t2_threshold`](Self::t2_threshold))
+    /// for robust training-data trimming only — reported detections remain
+    /// pure SPE exceedances as in the paper.
+    ///
+    /// Axes with (numerically) zero variance are skipped.
+    pub fn t2(&self, row: &[f64]) -> Result<f64, SubspaceError> {
+        let scores = self.pca.project(row, self.m)?;
+        let total = self.pca.eigenvalues().iter().sum::<f64>();
+        let floor = 1e-12 * total.max(1e-300);
+        Ok(scores
+            .iter()
+            .zip(self.pca.eigenvalues())
+            .filter(|(_, &l)| l > floor)
+            .map(|(s, &l)| s * s / l)
+            .sum())
+    }
+
+    /// The `χ²_m` quantile used as the T² trimming threshold.
+    pub fn t2_threshold(&self, alpha: f64) -> f64 {
+        entromine_linalg::stats::chi2_quantile(self.m, alpha)
+    }
+
+    /// Evaluates every row of `x` and returns the bins whose SPE exceeds
+    /// `δ²_α`, in time order.
+    pub fn detect(&self, x: &Mat, alpha: f64) -> Result<Vec<Detection>, SubspaceError> {
+        let threshold = self.threshold(alpha)?;
+        let mut out = Vec::new();
+        for (bin, row) in x.row_iter().enumerate() {
+            let spe = self.spe(row)?;
+            if spe > threshold {
+                out.push(Detection {
+                    bin,
+                    spe,
+                    threshold,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// SPE of every row (the full residual timeseries, for scatter plots
+    /// like the paper's Figure 4).
+    pub fn spe_series(&self, x: &Mat) -> Result<Vec<f64>, SubspaceError> {
+        x.row_iter().map(|row| self.spe(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// t x p matrix driven by two latent diurnal patterns plus noise — the
+    /// low-rank-plus-noise structure the subspace method assumes.
+    fn synthetic_traffic(t: usize, p: usize, noise: f64, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<(f64, f64)> = (0..p)
+            .map(|_| (rng.random::<f64>() * 4.0, rng.random::<f64>() * 2.0))
+            .collect();
+        Mat::from_fn(t, p, |i, j| {
+            let phase = i as f64 / 288.0 * std::f64::consts::TAU;
+            let (w1, w2) = weights[j];
+            10.0 + w1 * phase.sin() + w2 * (2.0 * phase).cos()
+                + noise * (rng.random::<f64>() - 0.5)
+        })
+    }
+
+    #[test]
+    fn low_rank_data_explained_by_few_components() {
+        let x = synthetic_traffic(500, 20, 0.01, 1);
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(4)).unwrap();
+        assert!(model.explained_variance() > 0.99);
+        assert_eq!(model.normal_dim(), 4);
+        assert_eq!(model.n_vars(), 20);
+    }
+
+    #[test]
+    fn variance_fraction_selection() {
+        let x = synthetic_traffic(500, 20, 0.01, 2);
+        let model = SubspaceModel::fit(&x, DimSelection::VarianceFraction(0.85)).unwrap();
+        // Two latent patterns dominate.
+        assert!(model.normal_dim() <= 4, "dim = {}", model.normal_dim());
+        assert!(model.explained_variance() >= 0.85);
+    }
+
+    #[test]
+    fn clean_data_produces_no_detections_at_high_alpha() {
+        let x = synthetic_traffic(400, 15, 0.5, 3);
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(4)).unwrap();
+        let detections = model.detect(&x, 0.9999).unwrap();
+        // A handful of false alarms is expected statistically; the bulk of
+        // bins must be clean.
+        assert!(
+            detections.len() < 10,
+            "too many false alarms: {}",
+            detections.len()
+        );
+    }
+
+    #[test]
+    fn injected_spike_is_detected_and_localized() {
+        let mut x = synthetic_traffic(400, 15, 0.5, 4);
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(4)).unwrap();
+        // Inject a volume spike into one flow at bin 123.
+        x[(123, 7)] += 40.0;
+        let detections = model.detect(&x, 0.999).unwrap();
+        assert!(
+            detections.iter().any(|d| d.bin == 123),
+            "injected bin not detected: {detections:?}"
+        );
+        for d in &detections {
+            assert!(d.spe > d.threshold);
+        }
+    }
+
+    #[test]
+    fn spe_series_has_one_value_per_bin() {
+        let x = synthetic_traffic(50, 8, 0.3, 5);
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(3)).unwrap();
+        let series = model.spe_series(&x).unwrap();
+        assert_eq!(series.len(), 50);
+        assert!(series.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn residual_matches_spe() {
+        let x = synthetic_traffic(60, 6, 0.4, 6);
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(2)).unwrap();
+        let row = x.row(10);
+        let r = model.residual(row).unwrap();
+        let spe = model.spe(row).unwrap();
+        let norm2: f64 = r.iter().map(|v| v * v).sum();
+        assert!((norm2 - spe).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let x = synthetic_traffic(50, 5, 0.1, 7);
+        // Dimension as large as the variable count leaves no residual.
+        assert!(matches!(
+            SubspaceModel::fit(&x, DimSelection::Fixed(5)),
+            Err(SubspaceError::BadDimension { .. })
+        ));
+        assert!(SubspaceModel::fit(&x, DimSelection::VarianceFraction(1.5)).is_err());
+        let one_row = Mat::zeros(1, 5);
+        assert!(SubspaceModel::fit(&one_row, DimSelection::Fixed(2)).is_err());
+        // Wrong row width at evaluation time.
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(2)).unwrap();
+        assert!(model.spe(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn constant_traffic_has_zero_thresholds_and_zero_spe() {
+        // Zero-variance data: the model is degenerate but must not panic.
+        let x = Mat::from_fn(30, 4, |_, _| 5.0);
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(1)).unwrap();
+        let t = model.threshold(0.999).unwrap();
+        assert_eq!(t, 0.0);
+        // All rows equal the mean: zero SPE, no detections (SPE > 0 required).
+        let detections = model.detect(&x, 0.999).unwrap();
+        assert!(detections.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! The (multiway) subspace method for network-wide anomaly detection.
+//!
+//! This crate implements §4.1–4.2 of the paper:
+//!
+//! * [`SubspaceModel`] — the single-way subspace method of Lakhina et al.
+//!   (SIGCOMM 2004), originally from statistical process control: PCA over a
+//!   `t x p` measurement matrix splits each observation into a component in
+//!   the low-dimensional **normal subspace** (typical variation shared by
+//!   the ensemble of OD flows) and a **residual**; the squared residual norm
+//!   (SPE) flags anomalies when it exceeds the **Q-statistic** threshold at
+//!   confidence `1 - alpha` ([`q_statistic_threshold`], Jackson & Mudholkar
+//!   1979).
+//! * [`MultiwayModel`] — the paper's extension: the three-way entropy
+//!   tensor `H(t, p, 4)` is unfolded into `t x 4p` (submatrices per feature
+//!   normalized to unit energy so no feature dominates) and the subspace
+//!   method is applied to the merged matrix, detecting correlated
+//!   distributional changes across features *and* across OD flows.
+//! * [`MultiwayModel::identify`] — multi-attribute identification: a greedy
+//!   search for the OD flow(s) whose 4-feature contribution `θ_k f_k` best
+//!   explains the residual displacement, recursing until the state drops
+//!   below the detection threshold.
+//!
+//! The detector is deliberately split from modeling: fit once on a traffic
+//! matrix, then evaluate SPE for existing rows, injected rows, or streaming
+//! rows at multiple `alpha` levels without refitting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detector;
+mod error;
+mod ident;
+mod multiway;
+mod qstat;
+
+pub use detector::{Detection, DimSelection, SubspaceModel};
+pub use error::SubspaceError;
+pub use ident::FlowContribution;
+pub use multiway::MultiwayModel;
+pub use qstat::q_statistic_threshold;

@@ -1,0 +1,183 @@
+//! The Q-statistic detection threshold of Jackson & Mudholkar (1979).
+//!
+//! Given the eigenvalue spectrum `λ_1 >= λ_2 >= ... >= λ_n` of the sample
+//! covariance and a normal subspace of dimension `m`, the squared residual
+//! norm of a multivariate-normal observation exceeds
+//!
+//! ```text
+//! δ²_α = φ₁ · [ c_α·sqrt(2·φ₂·h₀²)/φ₁ + 1 + φ₂·h₀·(h₀-1)/φ₁² ]^(1/h₀)
+//! ```
+//!
+//! with probability `1 - α`, where `φ_i = Σ_{j>m} λ_j^i`,
+//! `h₀ = 1 - 2φ₁φ₃/(3φ₂²)`, and `c_α` is the `α` standard-normal quantile.
+//! This is the threshold the paper uses to turn a residual magnitude into a
+//! detection at a desired false-alarm rate (α = 0.995, 0.999 in §6).
+
+use crate::SubspaceError;
+use entromine_linalg::stats::inv_norm_cdf;
+
+/// Computes the Q-statistic threshold `δ²_α`.
+///
+/// * `eigenvalues` — full covariance spectrum, descending.
+/// * `m` — dimension of the normal subspace (`m < eigenvalues.len()`).
+/// * `alpha` — confidence level in `(0, 1)`; detections fire when
+///   `SPE > δ²_α`, giving false-alarm probability `1 - alpha` under the
+///   null model.
+///
+/// Degenerate spectra are handled conservatively:
+///
+/// * If the residual eigenvalues are all ~0 (the data is perfectly modeled
+///   by the normal subspace), the threshold is 0 — any measurable residual
+///   is anomalous.
+/// * If `h₀` is non-positive (possible for extremely heavy-tailed residual
+///   spectra), the threshold falls back to the first-order normal
+///   approximation `φ₁ + c_α·sqrt(2·φ₂)`.
+pub fn q_statistic_threshold(
+    eigenvalues: &[f64],
+    m: usize,
+    alpha: f64,
+) -> Result<f64, SubspaceError> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(SubspaceError::BadAlpha(alpha));
+    }
+    if m >= eigenvalues.len() {
+        return Err(SubspaceError::BadDimension {
+            requested: m,
+            available: eigenvalues.len(),
+        });
+    }
+
+    let residual = &eigenvalues[m..];
+    // Numerically tiny negative eigenvalues (round-off from the solver) are
+    // clamped to zero before the power sums.
+    let phi1: f64 = residual.iter().map(|&l| l.max(0.0)).sum();
+    let phi2: f64 = residual.iter().map(|&l| l.max(0.0).powi(2)).sum();
+    let phi3: f64 = residual.iter().map(|&l| l.max(0.0).powi(3)).sum();
+
+    if phi1 <= 0.0 || phi2 <= 0.0 {
+        // Residual space carries no variance: any residual is anomalous.
+        return Ok(0.0);
+    }
+
+    let c_alpha = inv_norm_cdf(alpha);
+    let h0 = 1.0 - 2.0 * phi1 * phi3 / (3.0 * phi2 * phi2);
+
+    if h0 <= 0.0 {
+        // Fall back to the first-order normal approximation.
+        return Ok(phi1 + c_alpha * (2.0 * phi2).sqrt());
+    }
+
+    let term = c_alpha * (2.0 * phi2 * h0 * h0).sqrt() / phi1
+        + 1.0
+        + phi2 * h0 * (h0 - 1.0) / (phi1 * phi1);
+    // `term` can go (slightly) negative at extreme alpha; the residual
+    // distribution's support is nonnegative, so clamp.
+    if term <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok(phi1 * term.powf(1.0 / h0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_increases_with_alpha() {
+        let eigs = vec![10.0, 5.0, 2.0, 1.0, 0.5, 0.25];
+        let t95 = q_statistic_threshold(&eigs, 2, 0.95).unwrap();
+        let t99 = q_statistic_threshold(&eigs, 2, 0.99).unwrap();
+        let t999 = q_statistic_threshold(&eigs, 2, 0.999).unwrap();
+        assert!(t95 < t99, "{t95} !< {t99}");
+        assert!(t99 < t999, "{t99} !< {t999}");
+    }
+
+    #[test]
+    fn threshold_scales_with_residual_variance() {
+        let small = vec![10.0, 5.0, 0.1, 0.05, 0.02];
+        let large = vec![10.0, 5.0, 1.0, 0.5, 0.2];
+        let ts = q_statistic_threshold(&small, 2, 0.999).unwrap();
+        let tl = q_statistic_threshold(&large, 2, 0.999).unwrap();
+        assert!(ts < tl);
+    }
+
+    #[test]
+    fn threshold_near_phi1_at_alpha_half() {
+        // At alpha = 0.5, c_alpha = 0 and δ² = φ₁·(1 + correction)^(1/h₀).
+        // The correction term is not small for heavy residual spectra (it is
+        // ~-30% here), but the threshold must stay on φ₁'s scale.
+        let eigs = vec![10.0, 1.0, 0.5, 0.25];
+        let t = q_statistic_threshold(&eigs, 1, 0.5).unwrap();
+        let phi1 = 1.75;
+        assert!(t > 0.5 * phi1 && t < 1.5 * phi1, "t = {t}, phi1 = {phi1}");
+    }
+
+    #[test]
+    fn zero_residual_spectrum_gives_zero_threshold() {
+        let eigs = vec![10.0, 5.0, 0.0, 0.0];
+        assert_eq!(q_statistic_threshold(&eigs, 2, 0.999).unwrap(), 0.0);
+        // Tiny negative round-off eigenvalues behave the same.
+        let eigs = vec![10.0, 5.0, -1e-18, -1e-19];
+        assert_eq!(q_statistic_threshold(&eigs, 2, 0.999).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn invalid_arguments_rejected() {
+        let eigs = vec![1.0, 0.5];
+        assert!(matches!(
+            q_statistic_threshold(&eigs, 0, 0.0),
+            Err(SubspaceError::BadAlpha(_))
+        ));
+        assert!(matches!(
+            q_statistic_threshold(&eigs, 0, 1.0),
+            Err(SubspaceError::BadAlpha(_))
+        ));
+        assert!(matches!(
+            q_statistic_threshold(&eigs, 2, 0.9),
+            Err(SubspaceError::BadDimension { .. })
+        ));
+        assert!(matches!(
+            q_statistic_threshold(&[], 0, 0.9),
+            Err(SubspaceError::BadDimension { .. })
+        ));
+    }
+
+    #[test]
+    fn monte_carlo_false_alarm_rate() {
+        // Draw residuals from the model the Q-statistic assumes (independent
+        // normals with variances = residual eigenvalues) and check the
+        // empirical exceedance probability is close to 1 - alpha.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let residual_eigs = [1.0f64, 0.6, 0.3, 0.2, 0.1, 0.05];
+        let mut eigs = vec![50.0, 20.0]; // normal-subspace eigenvalues
+        eigs.extend_from_slice(&residual_eigs);
+        let alpha = 0.99;
+        let threshold = q_statistic_threshold(&eigs, 2, alpha).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(2005);
+        let trials = 200_000;
+        let mut exceed = 0usize;
+        for _ in 0..trials {
+            // Sum of lambda_j * z_j^2 via Box-Muller pairs.
+            let mut spe = 0.0;
+            for &l in &residual_eigs {
+                let u1: f64 = rng.random::<f64>().max(1e-12);
+                let u2: f64 = rng.random();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                spe += l * z * z;
+            }
+            if spe > threshold {
+                exceed += 1;
+            }
+        }
+        let rate = exceed as f64 / trials as f64;
+        let expected = 1.0 - alpha;
+        // The JM approximation is not exact; accept a factor-2 band.
+        assert!(
+            rate > expected / 2.0 && rate < expected * 2.0,
+            "false alarm rate {rate} too far from {expected}"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the subspace method.
+
+use entromine_linalg::Mat;
+use entromine_subspace::{q_statistic_threshold, DimSelection, SubspaceModel};
+use proptest::prelude::*;
+
+/// Strategy: a low-rank-plus-noise data matrix (t x n), the structure the
+/// subspace method is built for.
+fn traffic_like(t: usize, n: usize) -> impl Strategy<Value = Mat> {
+    (
+        proptest::collection::vec(0.5f64..3.0, n),
+        proptest::collection::vec(-0.05f64..0.05, t * n),
+        0.0f64..std::f64::consts::TAU,
+    )
+        .prop_map(move |(gains, noise, phase)| {
+            Mat::from_fn(t, n, |i, j| {
+                let s = ((i as f64 / 24.0) * std::f64::consts::TAU + phase).sin();
+                gains[j] * (2.0 + s) + noise[i * n + j]
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn spe_nonnegative_everywhere(x in traffic_like(60, 8)) {
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(2)).unwrap();
+        for row in x.row_iter() {
+            prop_assert!(model.spe(row).unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn residual_orthogonal_to_normal_subspace(x in traffic_like(60, 8), row in 0usize..60) {
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(2)).unwrap();
+        let r = model.residual(x.row(row)).unwrap();
+        // Project the residual back onto each normal axis: must be ~0.
+        let comp = model.pca().components();
+        for j in 0..model.normal_dim() {
+            let dot: f64 = (0..8).map(|i| r[i] * comp[(i, j)]).sum();
+            prop_assert!(dot.abs() < 1e-8, "axis {} leak: {}", j, dot);
+        }
+    }
+
+    #[test]
+    fn threshold_monotone_in_alpha(x in traffic_like(50, 6)) {
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(2)).unwrap();
+        let t1 = model.threshold(0.95).unwrap();
+        let t2 = model.threshold(0.99).unwrap();
+        let t3 = model.threshold(0.999).unwrap();
+        prop_assert!(t1 <= t2 + 1e-15);
+        prop_assert!(t2 <= t3 + 1e-15);
+    }
+
+    #[test]
+    fn detections_shrink_with_alpha(x in traffic_like(80, 6)) {
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(2)).unwrap();
+        let lo = model.detect(&x, 0.99).unwrap().len();
+        let hi = model.detect(&x, 0.9999).unwrap().len();
+        prop_assert!(hi <= lo);
+    }
+
+    #[test]
+    fn larger_subspace_never_raises_spe(x in traffic_like(60, 8), row in 0usize..60) {
+        let m2 = SubspaceModel::fit(&x, DimSelection::Fixed(2)).unwrap();
+        let m5 = SubspaceModel::fit(&x, DimSelection::Fixed(5)).unwrap();
+        let spe2 = m2.spe(x.row(row)).unwrap();
+        let spe5 = m5.spe(x.row(row)).unwrap();
+        prop_assert!(spe5 <= spe2 + 1e-12);
+    }
+
+    #[test]
+    fn qstat_scale_equivariance(scale in 0.1f64..100.0) {
+        // Scaling the covariance spectrum by c scales δ² by c.
+        let eigs = [10.0, 4.0, 1.0, 0.5, 0.25, 0.1];
+        let scaled: Vec<f64> = eigs.iter().map(|&l| l * scale).collect();
+        let base = q_statistic_threshold(&eigs, 2, 0.999).unwrap();
+        let big = q_statistic_threshold(&scaled, 2, 0.999).unwrap();
+        prop_assert!((big / base - scale).abs() < 1e-9 * scale.max(1.0));
+    }
+
+    #[test]
+    fn t2_nonnegative_and_detects_score_outliers(x in traffic_like(60, 8)) {
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(2)).unwrap();
+        for row in x.row_iter() {
+            prop_assert!(model.t2(row).unwrap() >= 0.0);
+        }
+        // An observation far along the FIRST principal axis has huge T2
+        // but modest SPE.
+        let comp = model.pca().components();
+        let spread = model.pca().eigenvalues()[0].sqrt().max(1e-6);
+        let mut extreme: Vec<f64> = model.pca().mean().to_vec();
+        for i in 0..8 {
+            extreme[i] += 50.0 * spread * comp[(i, 0)];
+        }
+        let t2 = model.t2(&extreme).unwrap();
+        prop_assert!(t2 > model.t2_threshold(0.999), "t2 {} too small", t2);
+    }
+}

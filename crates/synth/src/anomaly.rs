@@ -1,0 +1,440 @@
+//! Anomaly generators for every class in the paper's Table 1.
+//!
+//! Each generator produces packets whose feature distributions reproduce
+//! the qualitative effects Table 1 describes:
+//!
+//! | Label              | Effect reproduced here                                   |
+//! |--------------------|----------------------------------------------------------|
+//! | Alpha flow         | one src → one dst, fixed ports, large packets            |
+//! | DOS (single/multi) | dst concentrated on victim; src spoofed (dispersed)      |
+//! | Flash crowd        | many legitimate srcs → one dst, one well-known port      |
+//! | Port scan          | one src → one dst, dst ports swept                       |
+//! | Network scan       | one src → many dsts, one dst port, src port incrementing |
+//! | Outage             | traffic drop (rate multiplier, no packets)               |
+//! | Point-multipoint   | one src → many dsts, many dst ports                      |
+//! | Worm               | few srcs → many dsts on one vulnerable port              |
+//!
+//! The `Unknown` label marks deliberately ambiguous events (two anomalies
+//! co-occurring, NAT-striped alpha flows) mirroring the paper's unknown
+//! category — structures the manual inspection could not name but
+//! clustering later could.
+
+use crate::mix64;
+use entromine_net::{AddressPlan, Ipv4, OdPair, PacketHeader};
+use rand::rngs::{SmallRng, StdRng};
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The anomaly taxonomy of Table 1 (plus `Unknown`, §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AnomalyLabel {
+    /// Unusually large point-to-point flow (bandwidth measurement etc.).
+    AlphaFlow,
+    /// Single-source denial of service attack.
+    DosSingle,
+    /// Distributed denial of service attack.
+    DosMulti,
+    /// Flash crowd: legitimate demand surge toward one destination service.
+    FlashCrowd,
+    /// Probes to many ports on one destination host.
+    PortScan,
+    /// Probes to one port across many destination addresses.
+    NetworkScan,
+    /// Traffic drop from equipment failure or maintenance.
+    Outage,
+    /// Content distribution: one source to many destinations.
+    PointToMultipoint,
+    /// Worm scanning for vulnerable hosts (special case of network scan).
+    Worm,
+    /// Deliberately ambiguous structure (co-occurrence, NAT striping).
+    Unknown,
+}
+
+impl AnomalyLabel {
+    /// Every label that injects packets (everything except [`Outage`],
+    /// which removes traffic instead).
+    ///
+    /// [`Outage`]: AnomalyLabel::Outage
+    pub const PACKET_LABELS: [AnomalyLabel; 9] = [
+        AnomalyLabel::AlphaFlow,
+        AnomalyLabel::DosSingle,
+        AnomalyLabel::DosMulti,
+        AnomalyLabel::FlashCrowd,
+        AnomalyLabel::PortScan,
+        AnomalyLabel::NetworkScan,
+        AnomalyLabel::PointToMultipoint,
+        AnomalyLabel::Worm,
+        AnomalyLabel::Unknown,
+    ];
+
+    /// Short name as used in the paper's tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AnomalyLabel::AlphaFlow => "Alpha",
+            AnomalyLabel::DosSingle => "DOS",
+            AnomalyLabel::DosMulti => "DDOS",
+            AnomalyLabel::FlashCrowd => "Flash Crowd",
+            AnomalyLabel::PortScan => "Port Scan",
+            AnomalyLabel::NetworkScan => "Network Scan",
+            AnomalyLabel::Outage => "Outage",
+            AnomalyLabel::PointToMultipoint => "Point-Multipoint",
+            AnomalyLabel::Worm => "Worm",
+            AnomalyLabel::Unknown => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for AnomalyLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Specification of one anomaly to inject.
+#[derive(Debug, Clone)]
+pub struct AnomalyEvent {
+    /// What kind of anomaly.
+    pub label: AnomalyLabel,
+    /// First affected bin.
+    pub start_bin: usize,
+    /// Number of consecutive bins affected.
+    pub duration: usize,
+    /// The OD flow(s) carrying the anomaly (dense indices). Multi-flow
+    /// events (DDOS across origins, outages) list several.
+    pub flows: Vec<usize>,
+    /// Anomaly packets per affected (bin, flow) cell, in *sampled* packet
+    /// units (i.e. after the network's 1/N packet sampling).
+    pub packets_per_cell: f64,
+    /// Per-event RNG seed.
+    pub seed: u64,
+}
+
+/// Ground truth attached to a generated dataset.
+#[derive(Debug, Clone)]
+pub struct InjectedAnomaly {
+    /// The event that was injected.
+    pub event: AnomalyEvent,
+}
+
+impl InjectedAnomaly {
+    /// `true` if the anomaly covers the given cell.
+    pub fn covers(&self, bin: usize, flow: usize) -> bool {
+        bin >= self.event.start_bin
+            && bin < self.event.start_bin + self.event.duration
+            && self.event.flows.contains(&flow)
+    }
+
+    /// All bins the anomaly covers.
+    pub fn bins(&self) -> std::ops::Range<usize> {
+        self.event.start_bin..self.event.start_bin + self.event.duration
+    }
+}
+
+/// For outages: the multiplicative rate factor applied to covered cells.
+pub const OUTAGE_RATE_FACTOR: f64 = 0.05;
+
+/// Generates the anomaly packets for one covered cell.
+///
+/// `od` locates the victim/attacker address pools; `n` is the (already
+/// Poisson-sampled) packet count; `timestamp` stamps all packets (bin
+/// granularity is all the analysis sees).
+///
+/// [`AnomalyLabel::Outage`] produces no packets (it suppresses baseline
+/// traffic via [`OUTAGE_RATE_FACTOR`] instead).
+pub fn anomaly_packets(
+    label: AnomalyLabel,
+    plan: &AddressPlan,
+    od: OdPair,
+    n: u64,
+    timestamp: u64,
+    event_seed: u64,
+) -> Vec<PacketHeader> {
+    // Event-stable choices (victim host, scanner address, target port) must
+    // not vary from cell to cell of the same event.
+    let mut stable = StdRng::seed_from_u64(mix64(event_seed ^ 0xA11CE));
+    // Per-cell stream for the per-packet draws (SmallRng: this loop can run
+    // hundreds of millions of times per dataset).
+    let mut rng = SmallRng::seed_from_u64(mix64(event_seed ^ mix64(timestamp ^ 0xFACE)));
+
+    let mut packets = Vec::with_capacity(n as usize);
+    match label {
+        AnomalyLabel::Outage => {}
+
+        AnomalyLabel::AlphaFlow => {
+            // High-rate point-to-point flow on a measurement port.
+            let src = plan.host(od.origin, 7000 + stable.random_range(0..100));
+            let dst = plan.host(od.dest, 7000 + stable.random_range(0..100));
+            let sport: u16 = stable.random_range(32768..61000);
+            for _ in 0..n {
+                packets.push(PacketHeader::tcp(src, sport, dst, 5001, 1500, timestamp));
+            }
+        }
+
+        AnomalyLabel::DosSingle => {
+            // One attacker, one victim, small packets; source port varies
+            // (raw socket floods), destination port fixed on the service.
+            let src = plan.host(od.origin, 9000 + stable.random_range(0..500));
+            let victim = plan.host(od.dest, 100 + stable.random_range(0..48));
+            let dport = *[80u16, 443, 6667].get(stable.random_range(0..3)).unwrap();
+            for _ in 0..n {
+                let sport: u16 = rng.random_range(1024..=65535);
+                packets.push(PacketHeader::tcp(src, sport, victim, dport, 40, timestamp));
+            }
+        }
+
+        AnomalyLabel::DosMulti => {
+            // Spoofed sources spread across the origin PoP's whole block —
+            // "the spoofing of source addresses works in our favor, as it
+            // disturbs the feature distributions".
+            let victim = plan.host(od.dest, 100 + stable.random_range(0..48));
+            let dport = *[80u16, 443, 53].get(stable.random_range(0..3)).unwrap();
+            let block = plan.pop_block(od.origin);
+            for _ in 0..n {
+                let spoofed = Ipv4(block.first().0 + rng.random_range(0..block.size()) as u32);
+                let sport: u16 = rng.random_range(1024..=65535);
+                packets.push(PacketHeader::tcp(spoofed, sport, victim, dport, 40, timestamp));
+            }
+        }
+
+        AnomalyLabel::FlashCrowd => {
+            // Many *legitimate* clients (popularity-weighted would be
+            // ideal; a modest distinct pool suffices) hitting one web
+            // server on its well-known port.
+            let server = plan.host(od.dest, 100 + stable.random_range(0..8));
+            let pool = 200 + stable.random_range(0..100);
+            for _ in 0..n {
+                let client = plan.host(od.origin, rng.random_range(0..pool));
+                let sport: u16 = rng.random_range(1024..=65535);
+                packets.push(PacketHeader::tcp(client, sport, server, 80, 300, timestamp));
+            }
+        }
+
+        AnomalyLabel::PortScan => {
+            // One scanner sweeping ports on one target: dst address
+            // concentrates, dst ports disperse (Figure 1's anomaly).
+            let scanner = plan.host(od.origin, 5000 + stable.random_range(0..200));
+            let target = plan.host(od.dest, 100 + stable.random_range(0..48));
+            let sport: u16 = stable.random_range(30000..60000);
+            let start_port = stable.random_range(1u32..20000);
+            for i in 0..n {
+                let dport = (start_port + i as u32 % 45000) as u16;
+                packets.push(PacketHeader::tcp(scanner, sport, target, dport, 40, timestamp));
+            }
+        }
+
+        AnomalyLabel::NetworkScan => {
+            // One scanner probing one port across many addresses; source
+            // port increments per probe (§7.3.2: "such network scans often
+            // use a large set of source ports, sometimes incrementing the
+            // source port on each probe").
+            let scanner = plan.host(od.origin, 5000 + stable.random_range(0..200));
+            let dport = *[1433u16, 445, 135, 139]
+                .get(stable.random_range(0..4))
+                .unwrap();
+            let block = plan.pop_block(od.dest);
+            let sport0 = stable.random_range(1024u32..30000);
+            for i in 0..n {
+                let dst = Ipv4(block.first().0 + rng.random_range(0..block.size()) as u32);
+                let sport = (sport0 + i as u32) as u16;
+                packets.push(PacketHeader::tcp(scanner, sport.max(1024), dst, dport, 40, timestamp));
+            }
+        }
+
+        AnomalyLabel::Worm => {
+            // A few infected hosts scanning the destination block on one
+            // vulnerable port (MS-SQL 1433 in the paper's data).
+            let infected: Vec<Ipv4> = (0..3)
+                .map(|i| plan.host(od.origin, 4000 + i * 37 + stable.random_range(0..10)))
+                .collect();
+            let block = plan.pop_block(od.dest);
+            for _ in 0..n {
+                let src = infected[rng.random_range(0..infected.len())];
+                let dst = Ipv4(block.first().0 + rng.random_range(0..block.size()) as u32);
+                let sport: u16 = rng.random_range(1024..=65535);
+                packets.push(PacketHeader::tcp(src, sport, dst, 1433, 404, timestamp));
+            }
+        }
+
+        AnomalyLabel::PointToMultipoint => {
+            // Content distribution: one server pushing to many clients
+            // across many destination ports.
+            let server = plan.host(od.origin, 100 + stable.random_range(0..48));
+            let sport: u16 = stable.random_range(8000..9000);
+            for _ in 0..n {
+                let dst = plan.host(od.dest, rng.random_range(0..256));
+                let dport: u16 = rng.random_range(1024..=65535);
+                packets.push(PacketHeader::tcp(server, sport, dst, dport, 1200, timestamp));
+            }
+        }
+
+        AnomalyLabel::Unknown => {
+            // Ambiguous by construction: a NAT-striped alpha flow (same
+            // endpoints, ports re-drawn per burst) co-occurring with a
+            // faint port sweep — the kind of event §6.2 could not label.
+            let src = plan.host(od.origin, 6000 + stable.random_range(0..100));
+            let dst = plan.host(od.dest, 6000 + stable.random_range(0..100));
+            let bursts = 8.max(n / 16);
+            for i in 0..n {
+                let burst = i / (n / bursts).max(1);
+                let mut brng = SmallRng::seed_from_u64(mix64(event_seed ^ burst));
+                let sport: u16 = brng.random_range(1024..=65535);
+                if i % 5 == 0 {
+                    let dport = (2000 + (i as u32 * 13) % 3000) as u16;
+                    packets.push(PacketHeader::tcp(src, sport, dst, dport, 40, timestamp));
+                } else {
+                    let dport: u16 = brng.random_range(1024..=65535);
+                    packets.push(PacketHeader::tcp(src, sport, dst, dport, 1500, timestamp));
+                }
+            }
+        }
+    }
+    packets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entromine_entropy::BinAccumulator;
+    use entromine_net::Topology;
+
+    fn feature_entropies(label: AnomalyLabel, n: u64) -> [f64; 4] {
+        let topo = Topology::abilene();
+        let plan = AddressPlan::standard(&topo);
+        let packets = anomaly_packets(label, &plan, OdPair::new(2, 7), n, 0, 99);
+        let mut acc = BinAccumulator::new();
+        acc.add_packets(&packets);
+        let s = acc.summarize();
+        s.entropy
+    }
+
+    #[test]
+    fn packet_counts_match_request() {
+        let topo = Topology::abilene();
+        let plan = AddressPlan::standard(&topo);
+        for label in AnomalyLabel::PACKET_LABELS {
+            let packets = anomaly_packets(label, &plan, OdPair::new(0, 1), 500, 42, 7);
+            assert_eq!(packets.len(), 500, "{label}");
+            assert!(packets.iter().all(|p| p.timestamp == 42));
+        }
+        // Outage injects nothing.
+        assert!(anomaly_packets(AnomalyLabel::Outage, &plan, OdPair::new(0, 1), 500, 0, 7).is_empty());
+    }
+
+    #[test]
+    fn alpha_flow_concentrates_everything() {
+        let e = feature_entropies(AnomalyLabel::AlphaFlow, 1000);
+        // srcIP, srcPort, dstIP, dstPort all single-valued.
+        assert_eq!(e, [0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dos_single_disperses_sports_concentrates_dst() {
+        let e = feature_entropies(AnomalyLabel::DosSingle, 2000);
+        assert_eq!(e[0], 0.0, "single source");
+        assert!(e[1] > 8.0, "spoofed-ish source ports: {e:?}");
+        assert_eq!(e[2], 0.0, "one victim");
+        assert_eq!(e[3], 0.0, "one service port");
+    }
+
+    #[test]
+    fn ddos_disperses_sources() {
+        let e = feature_entropies(AnomalyLabel::DosMulti, 2000);
+        assert!(e[0] > 8.0, "spoofed sources must disperse: {e:?}");
+        assert_eq!(e[2], 0.0, "one victim");
+    }
+
+    #[test]
+    fn port_scan_signature() {
+        let e = feature_entropies(AnomalyLabel::PortScan, 2000);
+        assert_eq!(e[0], 0.0, "one scanner");
+        assert_eq!(e[1], 0.0, "fixed source port");
+        assert_eq!(e[2], 0.0, "one target");
+        assert!(e[3] > 9.0, "ports swept: {e:?}");
+    }
+
+    #[test]
+    fn network_scan_signature() {
+        let e = feature_entropies(AnomalyLabel::NetworkScan, 2000);
+        assert_eq!(e[0], 0.0, "one scanner");
+        assert!(e[1] > 8.0, "incrementing source ports disperse: {e:?}");
+        assert!(e[2] > 8.0, "many targets: {e:?}");
+        assert_eq!(e[3], 0.0, "one vulnerable port");
+    }
+
+    #[test]
+    fn worm_like_network_scan_with_few_sources() {
+        let e = feature_entropies(AnomalyLabel::Worm, 2000);
+        assert!(e[0] > 0.5 && e[0] < 3.0, "few infected hosts: {e:?}");
+        assert!(e[2] > 8.0, "many scan targets: {e:?}");
+        assert_eq!(e[3], 0.0, "one vulnerable port");
+    }
+
+    #[test]
+    fn flash_crowd_signature() {
+        let e = feature_entropies(AnomalyLabel::FlashCrowd, 2000);
+        assert!(e[0] > 5.0, "many clients: {e:?}");
+        assert_eq!(e[2], 0.0, "one server");
+        assert_eq!(e[3], 0.0, "one well-known port");
+    }
+
+    #[test]
+    fn p2mp_signature() {
+        let e = feature_entropies(AnomalyLabel::PointToMultipoint, 2000);
+        assert_eq!(e[0], 0.0, "one distributor");
+        assert!(e[2] > 5.0, "many receivers: {e:?}");
+        assert!(e[3] > 9.0, "many destination ports: {e:?}");
+    }
+
+    #[test]
+    fn packets_stay_inside_od_pools() {
+        let topo = Topology::abilene();
+        let plan = AddressPlan::standard(&topo);
+        for label in AnomalyLabel::PACKET_LABELS {
+            for p in anomaly_packets(label, &plan, OdPair::new(3, 9), 300, 0, 5) {
+                assert_eq!(plan.resolve(p.src_ip), Some(3), "{label}: src off-origin");
+                assert_eq!(plan.resolve(p.dst_ip), Some(9), "{label}: dst off-dest");
+            }
+        }
+    }
+
+    #[test]
+    fn event_stable_choices_are_stable_across_bins() {
+        // The same event seed must target the same victim in every bin.
+        let topo = Topology::abilene();
+        let plan = AddressPlan::standard(&topo);
+        let a = anomaly_packets(AnomalyLabel::DosSingle, &plan, OdPair::new(0, 1), 10, 100, 7);
+        let b = anomaly_packets(AnomalyLabel::DosSingle, &plan, OdPair::new(0, 1), 10, 200, 7);
+        assert_eq!(a[0].dst_ip, b[0].dst_ip, "victim drifted between bins");
+        assert_eq!(a[0].src_ip, b[0].src_ip, "attacker drifted between bins");
+    }
+
+    #[test]
+    fn injected_anomaly_coverage() {
+        let ev = InjectedAnomaly {
+            event: AnomalyEvent {
+                label: AnomalyLabel::PortScan,
+                start_bin: 10,
+                duration: 3,
+                flows: vec![5, 9],
+                packets_per_cell: 100.0,
+                seed: 1,
+            },
+        };
+        assert!(ev.covers(10, 5));
+        assert!(ev.covers(12, 9));
+        assert!(!ev.covers(13, 5));
+        assert!(!ev.covers(11, 4));
+        assert_eq!(ev.bins(), 10..13);
+    }
+
+    #[test]
+    fn unknown_label_mixes_structures() {
+        let e = feature_entropies(AnomalyLabel::Unknown, 2000);
+        // Endpoints fixed, ports striped: address entropy zero, port
+        // entropy positive but not maximal.
+        assert_eq!(e[0], 0.0);
+        assert_eq!(e[2], 0.0);
+        assert!(e[1] > 1.0);
+        assert!(e[3] > 1.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Samplers used by the traffic generator.
+//!
+//! Only `rand` is available offline, and it ships no distributions beyond
+//! the uniform family, so the generator's needs are implemented here:
+//!
+//! * [`poisson`] — per-bin packet counts.
+//! * [`AliasTable`] — Walker's alias method for O(1) draws from a fixed
+//!   categorical distribution (service mixtures, host popularity).
+//! * [`zipf_weights`] — the popularity law for host pools; real address
+//!   popularity is heavy-tailed (Kohler et al., IMW 2002).
+
+use rand::Rng;
+
+/// Draws a Poisson-distributed count with the given mean.
+///
+/// Uses Knuth's product-of-uniforms method for small means and the normal
+/// approximation (with continuity clamp at zero) for `lambda >= 64`, where
+/// the approximation error is far below anything the experiments can
+/// resolve. `lambda <= 0` yields 0.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 64.0 {
+        // Knuth: count multiplications until the product drops below e^-λ.
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            // Guard against pathological RNG streams.
+            if k > (lambda * 20.0 + 100.0) as u64 {
+                return k;
+            }
+        }
+    } else {
+        // Normal approximation: N(lambda, lambda).
+        let z = standard_normal(rng);
+        let v = lambda + lambda.sqrt() * z;
+        if v < 0.0 {
+            0
+        } else {
+            v.round() as u64
+        }
+    }
+}
+
+/// A standard normal draw via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Walker's alias method: O(n) construction, O(1) sampling from a fixed
+/// discrete distribution.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds a table from (unnormalized, nonnegative) weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative/non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and nonnegative"
+        );
+        assert!(total > 0.0, "weights must not all be zero");
+
+        // Scaled probabilities: mean 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut prob = vec![1.0; n];
+        let mut alias: Vec<usize> = (0..n).collect();
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Whatever remains (numerical leftovers) gets probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` if the table has no categories (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Zipf popularity weights: `w_i ∝ 1 / (i+1)^s` for `i = 0..n`.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_zero_and_negative_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -3.0), 0);
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lambda = 4.0;
+        let n = 100_000;
+        let draws: Vec<u64> = (0..n).map(|_| poisson(&mut rng, lambda)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / n as f64;
+        let var = draws
+            .iter()
+            .map(|&d| (d as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+        assert!((var - lambda).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lambda = 5000.0;
+        let n = 20_000;
+        let draws: Vec<u64> = (0..n).map(|_| poisson(&mut rng, lambda)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / n as f64;
+        let var = draws
+            .iter()
+            .map(|&d| (d as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - lambda).abs() / lambda < 0.01, "mean {mean}");
+        assert!((var - lambda).abs() / lambda < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn alias_uniform_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = AliasTable::new(&[1.0, 1.0, 1.0, 1.0]);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn alias_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = AliasTable::new(&[8.0, 1.0, 1.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..100_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let share0 = counts[0] as f64 / 100_000.0;
+        assert!((share0 - 0.8).abs() < 0.01, "share {share0}");
+    }
+
+    #[test]
+    fn alias_single_category() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = AliasTable::new(&[3.0]);
+        assert_eq!(t.len(), 1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn alias_zero_weight_category_never_drawn() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]);
+        for _ in 0..10_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn alias_empty_panics() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn alias_all_zero_panics() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_weights_decay() {
+        let w = zipf_weights(5, 1.0);
+        assert_eq!(w.len(), 5);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+        // s = 0: uniform.
+        let flat = zipf_weights(4, 0.0);
+        assert!(flat.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn normal_draw_moments() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Quickstart: detect, identify, and read a single injected anomaly.
+//!
+//! Builds a small Abilene-shaped synthetic network, injects one port scan,
+//! runs the full diagnosis pipeline, and prints what it found.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use entromine::synth::{AnomalyEvent, AnomalyLabel, Dataset, DatasetConfig};
+use entromine::net::Topology;
+use entromine::{Diagnoser, DiagnoserConfig};
+
+fn main() {
+    // A day of 5-minute bins on an 11-PoP Abilene-shaped backbone,
+    // 1-in-100 packet sampling, paper-scale traffic.
+    let config = DatasetConfig {
+        seed: 7,
+        n_bins: 288,
+        sample_rate: 100,
+        traffic_scale: 1.0,
+        rate_noise: 0.01,
+        anonymize: true, // Abilene masks the low 11 address bits
+    };
+
+    // One port scan, 40 minutes into the afternoon, against OD flow 58.
+    let scan = AnomalyEvent {
+        label: AnomalyLabel::PortScan,
+        start_bin: 200,
+        duration: 1,
+        flows: vec![58],
+        packets_per_cell: 1500.0,
+        seed: 99,
+    };
+
+    println!("generating one day of synthetic Abilene traffic ...");
+    let dataset = Dataset::generate(Topology::abilene(), config, vec![scan]);
+    println!(
+        "  {} bins x {} OD flows, ~{:.0} sampled packets per cell",
+        dataset.n_bins(),
+        dataset.n_flows(),
+        dataset.net.config().mean_sampled_packets_per_bin()
+    );
+
+    println!("fitting the multiway subspace model (m = 10, alpha = 0.999) ...");
+    let diagnoser = Diagnoser::new(DiagnoserConfig::default());
+    let fitted = diagnoser.fit(&dataset).expect("fit");
+    println!(
+        "  normal subspace captures {:.1}% of entropy variance",
+        100.0 * fitted.entropy_model().inner().explained_variance()
+    );
+
+    let report = fitted.diagnose(&dataset).expect("diagnose");
+    println!(
+        "\n{} anomalous bins (volume-only {}, entropy-only {}, both {}):",
+        report.total(),
+        report.volume_only(),
+        report.entropy_only(),
+        report.both()
+    );
+    println!("{:>5} {:>8} {:>12} {:>10} {:>28}", "bin", "methods", "entropy SPE", "flow", "residual entropy point");
+    for d in &report.diagnoses {
+        let methods = format!(
+            "{}{}{}",
+            if d.methods.bytes { "B" } else { "-" },
+            if d.methods.packets { "P" } else { "-" },
+            if d.methods.entropy { "E" } else { "-" }
+        );
+        let flow = d
+            .flows
+            .first()
+            .map(|f| {
+                let od = dataset.net.indexer().pair(f.flow);
+                let pops = dataset.net.topology().pops();
+                format!("{}->{}", pops[od.origin].code, pops[od.dest].code)
+            })
+            .unwrap_or_else(|| "-".into());
+        let point = d
+            .point
+            .map(|p| format!("[{:+.2} {:+.2} {:+.2} {:+.2}]", p[0], p[1], p[2], p[3]))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>5} {:>8} {:>12.3e} {:>10} {:>28}",
+            d.bin, methods, d.entropy_spe, flow, point
+        );
+    }
+
+    if let Some(hit) = report.diagnoses.iter().find(|d| d.bin == 200) {
+        println!("\nthe injected port scan at bin 200 was detected;");
+        if let Some(p) = hit.point {
+            println!(
+                "its entropy-space position [srcIP srcPort dstIP dstPort] = \
+                 [{:+.2} {:+.2} {:+.2} {:+.2}]",
+                p[0], p[1], p[2], p[3]
+            );
+            println!(
+                "(dstPort residual up = ports dispersed; dstIP residual down = \
+                 one victim — the Table 1 port-scan signature)"
+            );
+        }
+    } else {
+        println!("\nWARNING: the injected port scan was NOT detected");
+    }
+}

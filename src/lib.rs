@@ -1,0 +1,3 @@
+//! Workspace umbrella crate for `entromine`: the examples under `examples/`
+//! and the cross-crate integration tests under `tests/` are attached here.
+//! See the `entromine` crate for the library itself.

@@ -1,0 +1,108 @@
+//! Failure-injection integration tests: the pipeline must behave sanely on
+//! degenerate and adversarial inputs — missing data, constant traffic,
+//! tiny networks — returning errors or clean results rather than
+//! panicking. (The paper's Geant archive contained real outages and
+//! missing-data periods; §6.1 attributes ~130 of its detections to them.)
+
+use entromine::entropy::FEATURES;
+use entromine::net::Topology;
+use entromine::synth::{Dataset, DatasetConfig};
+use entromine::{Diagnoser, DiagnosisError};
+
+fn config(seed: u64, bins: usize) -> DatasetConfig {
+    DatasetConfig {
+        seed,
+        n_bins: bins,
+        sample_rate: 100,
+        traffic_scale: 0.05,
+        rate_noise: 0.02,
+        anonymize: false,
+    }
+}
+
+#[test]
+fn missing_data_bins_surface_as_detections_not_panics() {
+    // Blank a stretch of bins (collector outage) after generation.
+    let mut dataset = Dataset::clean(Topology::abilene(), config(1, 160));
+    for bin in 80..84 {
+        for flow in 0..dataset.n_flows() {
+            for f in FEATURES {
+                dataset.tensor.set(bin, flow, f, 0.0);
+            }
+        }
+    }
+    let fitted = Diagnoser::default().fit(&dataset).expect("fit");
+    let report = fitted.diagnose(&dataset).expect("diagnose");
+    // All-zero entropy rows are wildly atypical: they must be flagged.
+    for bin in 80..84 {
+        assert!(
+            report.diagnoses.iter().any(|d| d.bin == bin),
+            "missing-data bin {bin} not flagged"
+        );
+    }
+}
+
+#[test]
+fn single_missing_cell_does_not_poison_neighbours() {
+    let mut dataset = Dataset::clean(Topology::abilene(), config(2, 120));
+    for f in FEATURES {
+        dataset.tensor.set(60, 17, f, 0.0);
+    }
+    let fitted = Diagnoser::default().fit(&dataset).expect("fit");
+    let report = fitted.diagnose(&dataset).expect("diagnose");
+    // Neighbouring bins stay clean.
+    assert!(!report.diagnoses.iter().any(|d| d.bin == 59 || d.bin == 61));
+}
+
+#[test]
+fn tiny_windows_are_rejected_cleanly() {
+    let dataset = Dataset::clean(Topology::line(2), config(3, 2));
+    match Diagnoser::default().fit(&dataset) {
+        Err(DiagnosisError::BadDataset(_)) => {}
+        other => panic!("expected BadDataset, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_traffic_network_fits_without_detections() {
+    // traffic_scale 0 produces all-empty cells: zero variance everywhere.
+    let mut cfg = config(4, 60);
+    cfg.traffic_scale = 0.0;
+    let dataset = Dataset::clean(Topology::line(3), cfg);
+    let fitted = Diagnoser::default().fit(&dataset).expect("fit");
+    let report = fitted.diagnose(&dataset).expect("diagnose");
+    assert_eq!(report.total(), 0, "constant zero traffic has no anomalies");
+}
+
+#[test]
+fn single_flow_network_rejected() {
+    // line(1): one PoP, one (self) OD flow. The subspace method models
+    // *ensemble* correlation; a single flow is out of scope and must be
+    // rejected with a clear error, not a numerics failure.
+    let dataset = Dataset::clean(Topology::line(1), config(5, 60));
+    match Diagnoser::default().fit(&dataset) {
+        Err(DiagnosisError::BadDataset(msg)) => {
+            assert!(msg.contains("OD flows"), "unexpected message: {msg}")
+        }
+        other => panic!("expected BadDataset, got {other:?}"),
+    }
+}
+
+#[test]
+fn refit_disabled_still_works() {
+    let mut cfg = entromine::DiagnoserConfig::default();
+    cfg.refit_rounds = 0;
+    let dataset = Dataset::clean(Topology::abilene(), config(6, 100));
+    let fitted = Diagnoser::new(cfg).fit(&dataset).expect("fit");
+    let report = fitted.diagnose(&dataset).expect("diagnose");
+    assert!(report.total() < 20);
+}
+
+#[test]
+fn extreme_alpha_values_rejected() {
+    let dataset = Dataset::clean(Topology::line(3), config(7, 60));
+    let fitted = Diagnoser::default().fit(&dataset).expect("fit");
+    assert!(fitted.diagnose_at(&dataset, 0.0).is_err());
+    assert!(fitted.diagnose_at(&dataset, 1.0).is_err());
+    assert!(fitted.diagnose_at(&dataset, -3.0).is_err());
+}

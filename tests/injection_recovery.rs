@@ -1,0 +1,131 @@
+//! Integration test: every anomaly class from Table 1, injected at a
+//! healthy intensity, is detected and attributed to the right OD flow —
+//! and its entropy-space position matches the qualitative signature the
+//! paper assigns it (Table 1 / Table 6).
+
+use entromine::net::Topology;
+use entromine::synth::{AnomalyEvent, AnomalyLabel, Dataset, DatasetConfig, SyntheticNetwork};
+use entromine::Diagnoser;
+
+fn config(seed: u64) -> DatasetConfig {
+    DatasetConfig {
+        seed,
+        n_bins: 144,
+        sample_rate: 100,
+        traffic_scale: 1.0,
+        rate_noise: 0.01,
+        anonymize: false,
+    }
+}
+
+/// Injects one event of `label` at 70% of the target flow's rate and
+/// returns (detected?, first identified flow, entropy-space point).
+fn run_one(label: AnomalyLabel, seed: u64) -> (bool, Option<usize>, Option<[f64; 4]>, usize) {
+    let cfg = config(seed);
+    let net = SyntheticNetwork::new(Topology::abilene(), cfg.clone());
+    // A mid-sized flow: large relative shift, moderate absolute volume.
+    let flow = (0..net.indexer().n_flows())
+        .min_by_key(|&f| (net.rates().base_rate(f) - 2000.0).abs() as u64)
+        .unwrap();
+    let event = AnomalyEvent {
+        label,
+        start_bin: 70,
+        duration: 1,
+        flows: vec![flow],
+        packets_per_cell: 0.7 * net.rates().base_rate(flow),
+        seed: seed ^ 0xE7E7,
+    };
+    let dataset = Dataset::generate(Topology::abilene(), cfg, vec![event]);
+    let fitted = Diagnoser::default().fit(&dataset).expect("fit");
+    let report = fitted.diagnose(&dataset).expect("diagnose");
+    match report.diagnoses.iter().find(|d| d.bin == 70) {
+        Some(d) => (true, d.flows.first().map(|f| f.flow), d.point, flow),
+        None => (false, None, None, flow),
+    }
+}
+
+#[test]
+fn port_scan_recovered_with_signature() {
+    let (hit, blamed, point, flow) = run_one(AnomalyLabel::PortScan, 11);
+    assert!(hit, "port scan missed");
+    assert_eq!(blamed, Some(flow));
+    let p = point.expect("point");
+    assert!(p[3] > 0.0, "dstPort must disperse: {p:?}");
+    assert!(p[2] < 0.0, "dstIP must concentrate: {p:?}");
+}
+
+#[test]
+fn network_scan_recovered_with_signature() {
+    let (hit, blamed, point, flow) = run_one(AnomalyLabel::NetworkScan, 12);
+    assert!(hit, "network scan missed");
+    assert_eq!(blamed, Some(flow));
+    let p = point.expect("point");
+    // Table 6: network scans have strongly dispersed source ports and
+    // concentrated destination ports.
+    assert!(p[1] > 0.0, "srcPort must disperse: {p:?}");
+    assert!(p[3] < 0.0, "dstPort must concentrate: {p:?}");
+}
+
+#[test]
+fn ddos_recovered_with_signature() {
+    let (hit, blamed, point, flow) = run_one(AnomalyLabel::DosMulti, 13);
+    assert!(hit, "DDOS missed");
+    assert_eq!(blamed, Some(flow));
+    let p = point.expect("point");
+    // Spoofed sources disperse srcIP; one victim concentrates dstIP.
+    assert!(p[0] > 0.0, "srcIP must disperse: {p:?}");
+    assert!(p[2] < 0.0, "dstIP must concentrate: {p:?}");
+}
+
+#[test]
+fn worm_recovered_with_signature() {
+    let (hit, blamed, point, flow) = run_one(AnomalyLabel::Worm, 14);
+    assert!(hit, "worm missed");
+    assert_eq!(blamed, Some(flow));
+    let p = point.expect("point");
+    // Few infected sources scanning many targets on one port.
+    assert!(p[2] > 0.0, "dstIP must disperse: {p:?}");
+    assert!(p[3] < 0.0, "dstPort must concentrate: {p:?}");
+}
+
+#[test]
+fn alpha_flow_detected() {
+    let (hit, _, _, _) = run_one(AnomalyLabel::AlphaFlow, 15);
+    assert!(hit, "alpha flow missed");
+}
+
+#[test]
+fn flash_crowd_detected_and_blamed() {
+    let (hit, blamed, point, flow) = run_one(AnomalyLabel::FlashCrowd, 16);
+    assert!(hit, "flash crowd missed");
+    assert_eq!(blamed, Some(flow));
+    // Flash crowd concentrates the destination (one busy service).
+    let p = point.expect("point");
+    assert!(p[2] < 0.0, "dstIP must concentrate: {p:?}");
+}
+
+#[test]
+fn outage_detected() {
+    // An outage event suppresses traffic on all flows from one PoP.
+    let cfg = config(17);
+    let net = SyntheticNetwork::new(Topology::abilene(), cfg.clone());
+    let p = net.indexer().n_pops();
+    let flows: Vec<usize> = (0..p)
+        .map(|d| net.indexer().index(entromine::net::OdPair::new(3, d)))
+        .collect();
+    let event = AnomalyEvent {
+        label: AnomalyLabel::Outage,
+        start_bin: 70,
+        duration: 2,
+        flows,
+        packets_per_cell: 0.0,
+        seed: 0xDEAD,
+    };
+    let dataset = Dataset::generate(Topology::abilene(), cfg, vec![event]);
+    let fitted = Diagnoser::default().fit(&dataset).expect("fit");
+    let report = fitted.diagnose(&dataset).expect("diagnose");
+    assert!(
+        report.diagnoses.iter().any(|d| d.bin == 70 || d.bin == 71),
+        "outage missed entirely"
+    );
+}

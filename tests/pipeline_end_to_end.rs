@@ -1,0 +1,162 @@
+//! Cross-crate integration test: the full synth → detect → identify →
+//! classify pipeline on a seeded dataset with ground truth.
+
+use entromine::cluster::Linkage;
+use entromine::net::Topology;
+use entromine::synth::{AnomalyLabel, Dataset, DatasetConfig, Schedule, SyntheticNetwork};
+use entromine::{
+    anomaly_point_matrix, label_breakdown, match_truth, ClassifierConfig, ClusterAlgorithm,
+    Diagnoser, MatchOutcome,
+};
+
+fn config(seed: u64) -> DatasetConfig {
+    DatasetConfig {
+        seed,
+        n_bins: 192,
+        sample_rate: 100,
+        traffic_scale: 1.0,
+        rate_noise: 0.01,
+        anonymize: true,
+    }
+}
+
+fn scheduled(seed: u64) -> Dataset {
+    let cfg = config(seed);
+    let net = SyntheticNetwork::new(Topology::abilene(), cfg.clone());
+    let events = Schedule::uniform(seed ^ 0xE2E, 2).materialize(&net);
+    Dataset::generate(Topology::abilene(), cfg, events)
+}
+
+#[test]
+fn full_pipeline_detects_identifies_and_classifies() {
+    let dataset = scheduled(101);
+    assert!(!dataset.truth.is_empty());
+
+    let fitted = Diagnoser::default().fit(&dataset).expect("fit");
+    let report = fitted.diagnose(&dataset).expect("diagnose");
+    assert!(
+        report.total() >= 5,
+        "expected a population of detections, got {}",
+        report.total()
+    );
+
+    // A majority of detections must match injected ground truth.
+    let outcomes = match_truth(&report, &dataset.truth);
+    let matched = outcomes
+        .iter()
+        .filter(|o| matches!(o, MatchOutcome::Truth(_)))
+        .count();
+    assert!(
+        matched * 2 > report.total(),
+        "only {matched}/{} detections match ground truth",
+        report.total()
+    );
+
+    // Identified flows of matched detections must belong to the event.
+    let mut correct_flows = 0usize;
+    let mut checked = 0usize;
+    for (diag, outcome) in report.diagnoses.iter().zip(&outcomes) {
+        if let (MatchOutcome::Truth(t), Some(first)) = (outcome, diag.flows.first()) {
+            // Outages suppress a whole PoP; identification may legitimately
+            // surface any suppressed flow, so restrict the accuracy check
+            // to packet-injecting events.
+            if dataset.truth[*t].event.label == AnomalyLabel::Outage {
+                continue;
+            }
+            checked += 1;
+            if dataset.truth[*t].event.flows.contains(&first.flow) {
+                correct_flows += 1;
+            }
+        }
+    }
+    if checked > 0 {
+        assert!(
+            correct_flows * 3 >= checked * 2,
+            "identification correct on only {correct_flows}/{checked}"
+        );
+    }
+
+    // Classification runs end to end when enough points exist.
+    let (points, _) = anomaly_point_matrix(&report);
+    if points.rows() >= 4 {
+        let clustering = ClassifierConfig {
+            k: 4.min(points.rows()),
+            algorithm: ClusterAlgorithm::Hierarchical(Linkage::Single),
+        }
+        .classify(&points)
+        .expect("classify");
+        assert_eq!(clustering.assignments.len(), points.rows());
+        // Every point sits on the unit sphere.
+        for i in 0..points.rows() {
+            let norm: f64 = points.row(i).iter().map(|v| v * v).sum();
+            assert!((norm - 1.0).abs() < 1e-9, "point {i} not unit norm");
+        }
+    }
+}
+
+#[test]
+fn label_breakdown_accounts_for_every_event() {
+    let dataset = scheduled(102);
+    let fitted = Diagnoser::default().fit(&dataset).expect("fit");
+    let report = fitted.diagnose(&dataset).expect("diagnose");
+    let rows = label_breakdown(&report, &dataset.truth);
+    let accounted: usize = rows
+        .iter()
+        .map(|r| r.found_in_volume + r.additional_in_entropy + r.missed)
+        .sum();
+    assert_eq!(accounted, dataset.truth.len());
+    for row in &rows {
+        assert_eq!(
+            row.injected,
+            row.found_in_volume + row.additional_in_entropy + row.missed,
+            "row {row:?} inconsistent"
+        );
+    }
+}
+
+#[test]
+fn determinism_same_seed_same_report() {
+    let a = scheduled(103);
+    let b = scheduled(103);
+    let ra = Diagnoser::default()
+        .fit(&a)
+        .expect("fit")
+        .diagnose(&a)
+        .expect("diagnose");
+    let rb = Diagnoser::default()
+        .fit(&b)
+        .expect("fit")
+        .diagnose(&b)
+        .expect("diagnose");
+    assert_eq!(ra.total(), rb.total());
+    for (x, y) in ra.diagnoses.iter().zip(&rb.diagnoses) {
+        assert_eq!(x.bin, y.bin);
+        assert_eq!(x.methods, y.methods);
+        assert_eq!(x.entropy_spe, y.entropy_spe);
+        assert_eq!(
+            x.flows.first().map(|f| f.flow),
+            y.flows.first().map(|f| f.flow)
+        );
+    }
+}
+
+#[test]
+fn different_seeds_give_different_anomaly_populations() {
+    let a = scheduled(104);
+    let b = scheduled(105);
+    // Same schedule shape but different traffic: reports should differ in
+    // at least their SPE values.
+    let ra = Diagnoser::default()
+        .fit(&a)
+        .expect("fit")
+        .diagnose(&a)
+        .expect("diagnose");
+    let rb = Diagnoser::default()
+        .fit(&b)
+        .expect("fit")
+        .diagnose(&b)
+        .expect("diagnose");
+    let sa: f64 = ra.diagnoses.iter().map(|d| d.entropy_spe).sum();
+    let sb: f64 = rb.diagnoses.iter().map(|d| d.entropy_spe).sum();
+    assert_ne!(sa, sb);
+}
