@@ -30,9 +30,13 @@ fn bench_kmeans(c: &mut Criterion) {
     let mut group = c.benchmark_group("kmeans");
     for n in [200usize, 1000] {
         let points = anomaly_points(n, 1);
-        group.bench_with_input(BenchmarkId::new("random_seeding_k10", n), &points, |b, p| {
-            b.iter(|| black_box(KMeans::new(10).with_seed(7).fit(black_box(p))));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("random_seeding_k10", n),
+            &points,
+            |b, p| {
+                b.iter(|| black_box(KMeans::new(10).with_seed(7).fit(black_box(p))));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("plusplus_k10", n), &points, |b, p| {
             b.iter(|| {
                 black_box(

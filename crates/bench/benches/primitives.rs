@@ -31,13 +31,17 @@ fn bench_histograms(c: &mut Criterion) {
     for n in [1_000usize, 10_000] {
         let pkts = packets(n, 7);
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("accumulate_4_features", n), &pkts, |b, pkts| {
-            b.iter(|| {
-                let mut acc = BinAccumulator::new();
-                acc.add_packets(black_box(pkts));
-                black_box(acc.summarize())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("accumulate_4_features", n),
+            &pkts,
+            |b, pkts| {
+                b.iter(|| {
+                    let mut acc = BinAccumulator::new();
+                    acc.add_packets(black_box(pkts));
+                    black_box(acc.summarize())
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -73,7 +77,9 @@ fn bench_routing(c: &mut Criterion) {
     let topo = Topology::geant();
     let plan = AddressPlan::standard(&topo);
     let mut rng = SmallRng::seed_from_u64(11);
-    let addrs: Vec<Ipv4> = (0..10_000).map(|_| plan.host(rng.random_range(0..22), rng.random_range(0..100_000))).collect();
+    let addrs: Vec<Ipv4> = (0..10_000)
+        .map(|_| plan.host(rng.random_range(0..22), rng.random_range(0..100_000)))
+        .collect();
     c.bench_function("lpm_lookup_10k", |b| {
         b.iter(|| {
             let mut hits = 0usize;

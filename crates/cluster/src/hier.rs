@@ -111,14 +111,13 @@ pub fn agglomerative(points: &Mat, k: usize, linkage: Linkage) -> Clustering {
     let mut label_of_rep: Vec<Option<usize>> = vec![None; n];
     let mut next = 0usize;
     let mut assignments = vec![0usize; n];
-    for i in 0..n {
+    for (i, slot) in assignments.iter_mut().enumerate() {
         let rep = find(&parent, i);
-        let label = *label_of_rep[rep].get_or_insert_with(|| {
+        *slot = *label_of_rep[rep].get_or_insert_with(|| {
             let l = next;
             next += 1;
             l
         });
-        assignments[i] = label;
     }
     debug_assert_eq!(next, k);
 

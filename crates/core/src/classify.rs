@@ -93,7 +93,7 @@ pub fn anomaly_point_matrix(report: &DiagnosisReport) -> (Mat, Vec<usize>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{Diagnosis, DetectionMethods};
+    use crate::pipeline::{DetectionMethods, Diagnosis};
 
     fn report_with_points(points: &[[f64; 4]]) -> DiagnosisReport {
         DiagnosisReport {
@@ -148,7 +148,10 @@ mod tests {
         let (m, _) = anomaly_point_matrix(&report);
         for algorithm in [
             ClusterAlgorithm::Hierarchical(Linkage::Single),
-            ClusterAlgorithm::KMeans { seed: 1, restarts: 4 },
+            ClusterAlgorithm::KMeans {
+                seed: 1,
+                restarts: 4,
+            },
         ] {
             let c = ClassifierConfig { k: 2, algorithm }.classify(&m).unwrap();
             // Even indices together, odd indices together.

@@ -70,22 +70,22 @@ mod report;
 pub use classify::{anomaly_point_matrix, ClassifierConfig, ClusterAlgorithm};
 pub use error::DiagnosisError;
 pub use pipeline::{
-    Diagnosis, DiagnosisReport, Diagnoser, DiagnoserConfig, DetectionMethods, FittedDiagnoser,
+    DetectionMethods, Diagnoser, DiagnoserConfig, Diagnosis, DiagnosisReport, FittedDiagnoser,
 };
 pub use report::{cluster_rows, label_breakdown, match_truth, ClusterRow, LabelRow, MatchOutcome};
 
+/// Re-export of the clustering layer.
+pub use entromine_cluster as cluster;
+/// Re-export of the entropy layer.
+pub use entromine_entropy as entropy;
 /// Re-export of the linear-algebra substrate.
 pub use entromine_linalg as linalg;
 /// Re-export of the network substrate.
 pub use entromine_net as net;
-/// Re-export of the entropy layer.
-pub use entromine_entropy as entropy;
-/// Re-export of the synthetic-traffic layer.
-pub use entromine_synth as synth;
 /// Re-export of the subspace method.
 pub use entromine_subspace as subspace;
-/// Re-export of the clustering layer.
-pub use entromine_cluster as cluster;
+/// Re-export of the synthetic-traffic layer.
+pub use entromine_synth as synth;
 
 /// Rescales an anomaly's residual entropy 4-vector to unit norm, as §7.1
 /// prescribes ("we rescale each point to unit norm to focus on the

@@ -12,9 +12,7 @@
 //! (the unit-norm residual 4-vector used for classification in §7).
 
 use crate::{unit_norm, DiagnosisError};
-use entromine_subspace::{
-    DimSelection, FlowContribution, MultiwayModel, SubspaceModel,
-};
+use entromine_subspace::{DimSelection, FlowContribution, MultiwayModel, SubspaceModel};
 use entromine_synth::Dataset;
 
 /// Configuration of the diagnosis pipeline.
@@ -119,12 +117,18 @@ pub struct DiagnosisReport {
 impl DiagnosisReport {
     /// Number of bins detected by volume only (Table 2's first column).
     pub fn volume_only(&self) -> usize {
-        self.diagnoses.iter().filter(|d| d.methods.volume_only()).count()
+        self.diagnoses
+            .iter()
+            .filter(|d| d.methods.volume_only())
+            .count()
     }
 
     /// Number detected by entropy only (Table 2's second column).
     pub fn entropy_only(&self) -> usize {
-        self.diagnoses.iter().filter(|d| d.methods.entropy_only()).count()
+        self.diagnoses
+            .iter()
+            .filter(|d| d.methods.entropy_only())
+            .count()
     }
 
     /// Number detected by both (Table 2's third column).
@@ -278,9 +282,7 @@ impl FittedDiagnoser {
         let mut diagnoses = Vec::new();
         for bin in 0..dataset.n_bins() {
             let bytes_spe = self.bytes_model.spe(dataset.volumes.bytes().row(bin))?;
-            let packets_spe = self
-                .packets_model
-                .spe(dataset.volumes.packets().row(bin))?;
+            let packets_spe = self.packets_model.spe(dataset.volumes.packets().row(bin))?;
             let raw_row = dataset.tensor.unfolded_row(bin);
             let entropy_spe = self.entropy_model.spe(&raw_row)?;
 
@@ -361,6 +363,7 @@ impl FittedDiagnoser {
     /// The residual-magnitude series of all three detectors — the axes of
     /// the paper's Figure 4 scatter plots. Returns `(bytes, packets,
     /// entropy)` SPE per bin.
+    #[allow(clippy::type_complexity)] // three parallel per-bin series, not a structure
     pub fn spe_series(
         &self,
         dataset: &Dataset,
@@ -490,9 +493,27 @@ mod tests {
         };
         let (small_a, small_b, big) = (pick(900.0), pick(1800.0), pick(9000.0));
         let events = vec![
-            event(AnomalyLabel::PortScan, 30, small_a, 0.7 * net.rates().base_rate(small_a), 10),
-            event(AnomalyLabel::NetworkScan, 60, small_b, 0.7 * net.rates().base_rate(small_b), 11),
-            event(AnomalyLabel::AlphaFlow, 90, big, 1.2 * net.rates().base_rate(big), 12),
+            event(
+                AnomalyLabel::PortScan,
+                30,
+                small_a,
+                0.7 * net.rates().base_rate(small_a),
+                10,
+            ),
+            event(
+                AnomalyLabel::NetworkScan,
+                60,
+                small_b,
+                0.7 * net.rates().base_rate(small_b),
+                11,
+            ),
+            event(
+                AnomalyLabel::AlphaFlow,
+                90,
+                big,
+                1.2 * net.rates().base_rate(big),
+                12,
+            ),
         ];
         let d = Dataset::generate(Topology::abilene(), config, events);
         let fitted = Diagnoser::default().fit(&d).unwrap();

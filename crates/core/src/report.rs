@@ -6,7 +6,7 @@
 //! inspection" becomes a join between [`DiagnosisReport`] bins and
 //! [`InjectedAnomaly`] coverage.
 
-use crate::{DiagnosisReport};
+use crate::DiagnosisReport;
 use entromine_cluster::{Clustering, Signature};
 use entromine_linalg::Mat;
 use entromine_synth::{AnomalyLabel, InjectedAnomaly};
@@ -95,7 +95,10 @@ pub fn label_breakdown(report: &DiagnosisReport, truth: &[InjectedAnomaly]) -> V
             row.missed += 1;
         }
     }
-    order.into_iter().map(|l| rows.remove(&l).expect("row exists")).collect()
+    order
+        .into_iter()
+        .map(|l| rows.remove(&l).expect("row exists"))
+        .collect()
 }
 
 /// One row of a Table 7-style cluster summary.
@@ -166,7 +169,7 @@ pub fn cluster_rows(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{Diagnosis, DetectionMethods, DiagnosisReport};
+    use crate::pipeline::{DetectionMethods, Diagnosis, DiagnosisReport};
     use entromine_synth::AnomalyEvent;
 
     fn truth_event(label: AnomalyLabel, bin: usize, flow: usize) -> InjectedAnomaly {
@@ -211,7 +214,11 @@ mod tests {
             truth_event(AnomalyLabel::PortScan, 10, 0),
             truth_event(AnomalyLabel::DosSingle, 20, 1),
         ];
-        let r = report(vec![diag(10, false, true), diag(15, true, false), diag(20, true, true)]);
+        let r = report(vec![
+            diag(10, false, true),
+            diag(15, true, false),
+            diag(20, true, true),
+        ]);
         let outcomes = match_truth(&r, &truth);
         assert_eq!(
             outcomes,
@@ -233,15 +240,21 @@ mod tests {
             truth_event(AnomalyLabel::PortScan, 30, 0),
         ];
         let r = report(vec![
-            diag(10, true, true),   // DOS: both
-            diag(20, false, true),  // scan: entropy only
+            diag(10, true, true),  // DOS: both
+            diag(20, false, true), // scan: entropy only
         ]);
         let rows = label_breakdown(&r, &truth);
-        let dos = rows.iter().find(|r| r.label == AnomalyLabel::DosSingle).unwrap();
+        let dos = rows
+            .iter()
+            .find(|r| r.label == AnomalyLabel::DosSingle)
+            .unwrap();
         assert_eq!(dos.found_in_volume, 1);
         assert_eq!(dos.additional_in_entropy, 0);
         assert_eq!(dos.missed, 0);
-        let scan = rows.iter().find(|r| r.label == AnomalyLabel::PortScan).unwrap();
+        let scan = rows
+            .iter()
+            .find(|r| r.label == AnomalyLabel::PortScan)
+            .unwrap();
         assert_eq!(scan.injected, 2);
         assert_eq!(scan.found_in_volume, 0);
         assert_eq!(scan.additional_in_entropy, 1);

@@ -58,10 +58,13 @@ pub fn simpson_index(hist: &FeatureHistogram) -> f64 {
         return 0.0;
     }
     let s = s as f64;
-    let sum_sq: f64 = hist.iter().map(|(_, n)| {
-        let p = n as f64 / s;
-        p * p
-    }).sum();
+    let sum_sq: f64 = hist
+        .iter()
+        .map(|(_, n)| {
+            let p = n as f64 / s;
+            p * p
+        })
+        .sum();
     1.0 - sum_sq
 }
 

@@ -15,8 +15,8 @@
 //! also consumed un-normalized by timeseries plots and identification.
 
 use crate::accum::BinSummary;
-use entromine_net::packet::{Feature, FEATURES};
 use entromine_linalg::Mat;
+use entromine_net::packet::{Feature, FEATURES};
 
 /// The `t x p` byte- and packet-count matrices (the volume view of the
 /// traffic used by the SIGCOMM 2004 baseline detector).
@@ -240,10 +240,7 @@ mod tests {
         let (tensor, _) = b.finish();
         let h = tensor.unfold();
         assert_eq!(h.shape(), (1, 8));
-        assert_eq!(
-            h.row(0),
-            &[1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]
-        );
+        assert_eq!(h.row(0), &[1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
     }
 
     #[test]
@@ -272,11 +269,7 @@ mod tests {
     fn series_extraction() {
         let mut b = TensorBuilder::new(3, 1);
         for bin in 0..3 {
-            b.set(
-                bin,
-                0,
-                &summary(1, 1, [bin as f64, 0.0, 0.0, 0.0]),
-            );
+            b.set(bin, 0, &summary(1, 1, [bin as f64, 0.0, 0.0, 0.0]));
         }
         let (tensor, _) = b.finish();
         assert_eq!(tensor.series(0, Feature::SrcIp), vec![0.0, 1.0, 2.0]);

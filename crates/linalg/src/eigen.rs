@@ -432,11 +432,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Mat::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.2],
-            &[0.5, 0.2, 2.0],
-        ]);
+        let a = Mat::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]]);
         let e = sym_eigen(&a).unwrap();
         let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
         assert!(vtv.max_abs_diff(&Mat::identity(3)).unwrap() < 1e-10);

@@ -181,10 +181,7 @@ impl Mat {
                 rhs: (v.len(), 1),
             });
         }
-        Ok(self
-            .row_iter()
-            .map(|row| dot(row, v))
-            .collect())
+        Ok(self.row_iter().map(|row| dot(row, v)).collect())
     }
 
     /// Vector–matrix product `v^T * self`, returned as a plain vector.

@@ -83,7 +83,9 @@ impl Pca {
         let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(v, mu)| v - mu).collect();
         let mut scores = Vec::with_capacity(m);
         for j in 0..m {
-            let col: Vec<f64> = (0..self.dim()).map(|i| self.eigen.vectors[(i, j)]).collect();
+            let col: Vec<f64> = (0..self.dim())
+                .map(|i| self.eigen.vectors[(i, j)])
+                .collect();
             scores.push(dot(&centered, &col));
         }
         Ok(scores)
@@ -98,7 +100,9 @@ impl Pca {
         let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(v, mu)| v - mu).collect();
         let mut hat = vec![0.0; self.dim()];
         for j in 0..m {
-            let col: Vec<f64> = (0..self.dim()).map(|i| self.eigen.vectors[(i, j)]).collect();
+            let col: Vec<f64> = (0..self.dim())
+                .map(|i| self.eigen.vectors[(i, j)])
+                .collect();
             let score = dot(&centered, &col);
             for (h, &c) in hat.iter_mut().zip(&col) {
                 *h += score * c;
@@ -155,7 +159,7 @@ mod tests {
             let t = i as f64 / n as f64;
             let base = match j {
                 0 => 2.0 * t,
-                1 => -1.0 * t + 5.0,
+                1 => -t + 5.0,
                 _ => 0.5 * t - 2.0,
             };
             base + noise * (rng.random::<f64>() - 0.5)
@@ -230,10 +234,10 @@ mod tests {
         let probe = x.row(20);
         let scores = pca.project(probe, 2).unwrap();
         // Reconstruction = sum of score_j * axis_j.
-        let mut manual = vec![0.0; 3];
-        for j in 0..2 {
-            for i in 0..3 {
-                manual[i] += scores[j] * pca.components()[(i, j)];
+        let mut manual = [0.0; 3];
+        for (j, &score) in scores.iter().enumerate() {
+            for (i, m) in manual.iter_mut().enumerate() {
+                *m += score * pca.components()[(i, j)];
             }
         }
         let hat = pca.reconstruct(probe, 2).unwrap();

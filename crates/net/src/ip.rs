@@ -139,6 +139,7 @@ impl Prefix {
     }
 
     /// The mask length in bits.
+    #[allow(clippy::len_without_is_empty)] // a mask length, not a container
     pub const fn len(self) -> u8 {
         self.len
     }
@@ -215,9 +216,7 @@ impl FromStr for Prefix {
             .split_once('/')
             .ok_or_else(|| AddrParseError(s.to_string()))?;
         let addr: Ipv4 = addr_s.parse()?;
-        let len: u8 = len_s
-            .parse()
-            .map_err(|_| AddrParseError(s.to_string()))?;
+        let len: u8 = len_s.parse().map_err(|_| AddrParseError(s.to_string()))?;
         if len > 32 {
             return Err(AddrParseError(s.to_string()));
         }

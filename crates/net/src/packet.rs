@@ -223,7 +223,14 @@ mod tests {
 
     #[test]
     fn binning() {
-        let p = PacketHeader::udp(Ipv4::new(1, 2, 3, 4), 53, Ipv4::new(5, 6, 7, 8), 53, 64, 601);
+        let p = PacketHeader::udp(
+            Ipv4::new(1, 2, 3, 4),
+            53,
+            Ipv4::new(5, 6, 7, 8),
+            53,
+            64,
+            601,
+        );
         assert_eq!(p.bin(300), 2);
         assert_eq!(p.bin(600), 1);
         assert_eq!(p.bin(602), 0);

@@ -78,7 +78,7 @@ pub fn thin_periodic(packets: &[PacketHeader], factor: u64) -> Vec<PacketHeader>
         .iter()
         .copied()
         .enumerate()
-        .filter(|(i, _)| (*i as u64) % factor == 0)
+        .filter(|(i, _)| (*i as u64).is_multiple_of(factor))
         .map(|(_, p)| p)
         .collect()
 }
@@ -87,7 +87,11 @@ pub fn thin_periodic(packets: &[PacketHeader], factor: u64) -> Vec<PacketHeader>
 /// probability `1/factor`.
 ///
 /// A factor of 0 or 1 keeps the whole trace.
-pub fn thin_random<R: Rng>(packets: &[PacketHeader], factor: u64, rng: &mut R) -> Vec<PacketHeader> {
+pub fn thin_random<R: Rng>(
+    packets: &[PacketHeader],
+    factor: u64,
+    rng: &mut R,
+) -> Vec<PacketHeader> {
     if factor <= 1 {
         return packets.to_vec();
     }
@@ -108,16 +112,7 @@ mod tests {
 
     fn mk(n: usize) -> Vec<PacketHeader> {
         (0..n)
-            .map(|i| {
-                PacketHeader::udp(
-                    Ipv4(i as u32),
-                    53,
-                    Ipv4(99),
-                    53,
-                    100,
-                    i as u64,
-                )
-            })
+            .map(|i| PacketHeader::udp(Ipv4(i as u32), 53, Ipv4(99), 53, 100, i as u64))
             .collect()
     }
 

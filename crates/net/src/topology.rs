@@ -159,17 +159,50 @@ impl Topology {
     /// The 2003-era Abilene backbone: 11 PoPs, 14 links.
     pub fn abilene() -> Self {
         let pops = vec![
-            Pop { code: "ATLA", city: "Atlanta" },
-            Pop { code: "CHIN", city: "Chicago" },
-            Pop { code: "DNVR", city: "Denver" },
-            Pop { code: "HSTN", city: "Houston" },
-            Pop { code: "IPLS", city: "Indianapolis" },
-            Pop { code: "KSCY", city: "Kansas City" },
-            Pop { code: "LOSA", city: "Los Angeles" },
-            Pop { code: "NYCM", city: "New York" },
-            Pop { code: "SNVA", city: "Sunnyvale" },
-            Pop { code: "STTL", city: "Seattle" },
-            Pop { code: "WASH", city: "Washington DC" },
+            Pop {
+                code: "ATLA",
+                city: "Atlanta",
+            },
+            Pop {
+                code: "CHIN",
+                city: "Chicago",
+            },
+            Pop {
+                code: "DNVR",
+                city: "Denver",
+            },
+            Pop {
+                code: "HSTN",
+                city: "Houston",
+            },
+            Pop {
+                code: "IPLS",
+                city: "Indianapolis",
+            },
+            Pop {
+                code: "KSCY",
+                city: "Kansas City",
+            },
+            Pop {
+                code: "LOSA",
+                city: "Los Angeles",
+            },
+            Pop {
+                code: "NYCM",
+                city: "New York",
+            },
+            Pop {
+                code: "SNVA",
+                city: "Sunnyvale",
+            },
+            Pop {
+                code: "STTL",
+                city: "Seattle",
+            },
+            Pop {
+                code: "WASH",
+                city: "Washington DC",
+            },
         ];
         // Codes:    ATLA=0 CHIN=1 DNVR=2 HSTN=3 IPLS=4 KSCY=5
         //           LOSA=6 NYCM=7 SNVA=8 STTL=9 WASH=10
@@ -200,61 +233,127 @@ impl Topology {
     /// giving `484` OD flows).
     pub fn geant() -> Self {
         let pops = vec![
-            Pop { code: "AT", city: "Vienna" },
-            Pop { code: "BE", city: "Brussels" },
-            Pop { code: "CH", city: "Geneva" },
-            Pop { code: "CZ", city: "Prague" },
-            Pop { code: "DE", city: "Frankfurt" },
-            Pop { code: "ES", city: "Madrid" },
-            Pop { code: "FR", city: "Paris" },
-            Pop { code: "GR", city: "Athens" },
-            Pop { code: "HR", city: "Zagreb" },
-            Pop { code: "HU", city: "Budapest" },
-            Pop { code: "IE", city: "Dublin" },
-            Pop { code: "IL", city: "Tel Aviv" },
-            Pop { code: "IT", city: "Milan" },
-            Pop { code: "LU", city: "Luxembourg" },
-            Pop { code: "NL", city: "Amsterdam" },
-            Pop { code: "PL", city: "Poznan" },
-            Pop { code: "PT", city: "Lisbon" },
-            Pop { code: "SE", city: "Stockholm" },
-            Pop { code: "SI", city: "Ljubljana" },
-            Pop { code: "SK", city: "Bratislava" },
-            Pop { code: "UK", city: "London" },
-            Pop { code: "RO", city: "Bucharest" },
+            Pop {
+                code: "AT",
+                city: "Vienna",
+            },
+            Pop {
+                code: "BE",
+                city: "Brussels",
+            },
+            Pop {
+                code: "CH",
+                city: "Geneva",
+            },
+            Pop {
+                code: "CZ",
+                city: "Prague",
+            },
+            Pop {
+                code: "DE",
+                city: "Frankfurt",
+            },
+            Pop {
+                code: "ES",
+                city: "Madrid",
+            },
+            Pop {
+                code: "FR",
+                city: "Paris",
+            },
+            Pop {
+                code: "GR",
+                city: "Athens",
+            },
+            Pop {
+                code: "HR",
+                city: "Zagreb",
+            },
+            Pop {
+                code: "HU",
+                city: "Budapest",
+            },
+            Pop {
+                code: "IE",
+                city: "Dublin",
+            },
+            Pop {
+                code: "IL",
+                city: "Tel Aviv",
+            },
+            Pop {
+                code: "IT",
+                city: "Milan",
+            },
+            Pop {
+                code: "LU",
+                city: "Luxembourg",
+            },
+            Pop {
+                code: "NL",
+                city: "Amsterdam",
+            },
+            Pop {
+                code: "PL",
+                city: "Poznan",
+            },
+            Pop {
+                code: "PT",
+                city: "Lisbon",
+            },
+            Pop {
+                code: "SE",
+                city: "Stockholm",
+            },
+            Pop {
+                code: "SI",
+                city: "Ljubljana",
+            },
+            Pop {
+                code: "SK",
+                city: "Bratislava",
+            },
+            Pop {
+                code: "UK",
+                city: "London",
+            },
+            Pop {
+                code: "RO",
+                city: "Bucharest",
+            },
         ];
         // Index key: AT=0 BE=1 CH=2 CZ=3 DE=4 ES=5 FR=6 GR=7 HR=8 HU=9 IE=10
         //            IL=11 IT=12 LU=13 NL=14 PL=15 PT=16 SE=17 SI=18 SK=19
         //            UK=20 RO=21
         let links = vec![
-            (0, 3),  // AT-CZ
-            (0, 4),  // AT-DE
-            (0, 9),  // AT-HU
-            (0, 18), // AT-SI
-            (0, 19), // AT-SK
-            (1, 6),  // BE-FR
-            (1, 14), // BE-NL
-            (2, 4),  // CH-DE
-            (2, 6),  // CH-FR
-            (2, 12), // CH-IT
-            (3, 4),  // CZ-DE
-            (3, 15), // CZ-PL
-            (3, 19), // CZ-SK
-            (4, 6),  // DE-FR
-            (4, 14), // DE-NL
-            (4, 17), // DE-SE
-            (4, 11), // DE-IL
-            (5, 6),  // ES-FR
-            (5, 16), // ES-PT
-            (5, 12), // ES-IT
-            (6, 20), // FR-UK
-            (6, 13), // FR-LU
-            (7, 12), // GR-IT
-            (7, 11), // GR-IL
-            (8, 18), // HR-SI
-            (8, 9),  // HR-HU
-            (9, 19), // HU-SK
-            (9, 21), // HU-RO
+            (0, 3),   // AT-CZ
+            (0, 4),   // AT-DE
+            (0, 9),   // AT-HU
+            (0, 18),  // AT-SI
+            (0, 19),  // AT-SK
+            (1, 6),   // BE-FR
+            (1, 14),  // BE-NL
+            (2, 4),   // CH-DE
+            (2, 6),   // CH-FR
+            (2, 12),  // CH-IT
+            (3, 4),   // CZ-DE
+            (3, 15),  // CZ-PL
+            (3, 19),  // CZ-SK
+            (4, 6),   // DE-FR
+            (4, 14),  // DE-NL
+            (4, 17),  // DE-SE
+            (4, 11),  // DE-IL
+            (5, 6),   // ES-FR
+            (5, 16),  // ES-PT
+            (5, 12),  // ES-IT
+            (6, 20),  // FR-UK
+            (6, 13),  // FR-LU
+            (7, 12),  // GR-IT
+            (7, 11),  // GR-IL
+            (8, 18),  // HR-SI
+            (8, 9),   // HR-HU
+            (9, 19),  // HU-SK
+            (9, 21),  // HU-RO
             (10, 20), // IE-UK
             (12, 18), // IT-SI
             (14, 20), // NL-UK
@@ -270,7 +369,10 @@ impl Topology {
     /// connected in a path.
     pub fn line(n: usize) -> Self {
         const CODES: [&str; 8] = ["P0", "P1", "P2", "P3", "P4", "P5", "P6", "P7"];
-        assert!(n >= 1 && n <= CODES.len(), "line topology supports 1..=8 PoPs");
+        assert!(
+            n >= 1 && n <= CODES.len(),
+            "line topology supports 1..=8 PoPs"
+        );
         let pops = (0..n)
             .map(|i| Pop {
                 code: CODES[i],
@@ -344,9 +446,18 @@ mod tests {
     #[test]
     fn disconnected_graph_detected() {
         let pops = vec![
-            Pop { code: "A", city: "a" },
-            Pop { code: "B", city: "b" },
-            Pop { code: "C", city: "c" },
+            Pop {
+                code: "A",
+                city: "a",
+            },
+            Pop {
+                code: "B",
+                city: "b",
+            },
+            Pop {
+                code: "C",
+                city: "c",
+            },
         ];
         let t = Topology::new("disc", pops, vec![(0, 1)]);
         assert!(!t.is_connected());
@@ -364,7 +475,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "self-loop")]
     fn self_loops_rejected() {
-        let pops = vec![Pop { code: "A", city: "a" }];
+        let pops = vec![Pop {
+            code: "A",
+            city: "a",
+        }];
         let _ = Topology::new("bad", pops, vec![(0, 0)]);
     }
 

@@ -1,7 +1,9 @@
 //! Property-based tests for the network substrate.
 
 use entromine_net::sample::{thin_periodic, PeriodicSampler};
-use entromine_net::{AddressPlan, Ipv4, OdIndexer, OdPair, PacketHeader, Prefix, PrefixTable, Topology};
+use entromine_net::{
+    AddressPlan, Ipv4, OdIndexer, OdPair, PacketHeader, Prefix, PrefixTable, Topology,
+};
 use proptest::prelude::*;
 
 fn arb_ip() -> impl Strategy<Value = Ipv4> {

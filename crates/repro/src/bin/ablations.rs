@@ -24,7 +24,11 @@ use entromine_repro::{abilene_config, banner, csv, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Ablations — design-choice sensitivity", "DESIGN.md §7", scale);
+    banner(
+        "Ablations — design-choice sensitivity",
+        "DESIGN.md §7",
+        scale,
+    );
 
     let mut config = abilene_config(99, scale);
     config.n_bins = config.n_bins.min(2 * 288);
@@ -44,8 +48,10 @@ fn main() {
         "m", "detections", "recall", "false alarms", "expl. var."
     );
     for m in [5usize, 10, 15] {
-        let mut cfg = DiagnoserConfig::default();
-        cfg.dim = DimSelection::Fixed(m);
+        let cfg = DiagnoserConfig {
+            dim: DimSelection::Fixed(m),
+            ..Default::default()
+        };
         let fitted = Diagnoser::new(cfg).fit(&dataset).expect("fit");
         let report = fitted.diagnose(&dataset).expect("diagnose");
         let outcomes = match_truth(&report, &dataset.truth);
@@ -77,17 +83,17 @@ fn main() {
     // compare how well each separates the injected anomaly bins.
     println!("\n== ablation 2: dispersion metric (paper: sample entropy)");
     println!("{:>16} {:>12} {:>14}", "metric", "recall", "false alarms");
-    type Metric = (&'static str, fn(&entromine::entropy::FeatureHistogram) -> f64);
+    type Metric = (
+        &'static str,
+        fn(&entromine::entropy::FeatureHistogram) -> f64,
+    );
     let metrics: [Metric; 3] = [
         ("entropy", sample_entropy),
         ("simpson", simpson_index),
         ("distinct", distinct_count),
     ];
-    let truth_bins: std::collections::HashSet<usize> = dataset
-        .truth
-        .iter()
-        .flat_map(|ev| ev.bins())
-        .collect();
+    let truth_bins: std::collections::HashSet<usize> =
+        dataset.truth.iter().flat_map(|ev| ev.bins()).collect();
     for (name, metric) in metrics {
         // Rebuild a tensor whose "entropy" slots hold the chosen metric.
         let mut builder = TensorBuilder::new(dataset.n_bins(), dataset.n_flows());
@@ -214,22 +220,34 @@ fn main() {
         println!("residual energy share per feature [srcIP srcPort dstIP dstPort]:");
         println!(
             "  normalized  : [{:.2} {:.2} {:.2} {:.2}]  (max share {:.2})",
-            sw[0], sw[1], sw[2], sw[3],
+            sw[0],
+            sw[1],
+            sw[2],
+            sw[3],
             sw.iter().cloned().fold(0.0, f64::max)
         );
         println!(
             "  raw         : [{:.2} {:.2} {:.2} {:.2}]  (max share {:.2})",
-            so[0], so[1], so[2], so[3],
+            so[0],
+            so[1],
+            so[2],
+            so[3],
             so.iter().cloned().fold(0.0, f64::max)
         );
-        csv::row(&mut out, &[format!(
-            "normalization,on,max_feature_share,{:.4}",
-            sw.iter().cloned().fold(0.0, f64::max)
-        )]);
-        csv::row(&mut out, &[format!(
-            "normalization,off,max_feature_share,{:.4}",
-            so.iter().cloned().fold(0.0, f64::max)
-        )]);
+        csv::row(
+            &mut out,
+            &[format!(
+                "normalization,on,max_feature_share,{:.4}",
+                sw.iter().cloned().fold(0.0, f64::max)
+            )],
+        );
+        csv::row(
+            &mut out,
+            &[format!(
+                "normalization,off,max_feature_share,{:.4}",
+                so.iter().cloned().fold(0.0, f64::max)
+            )],
+        );
     }
 
     // ---- 4. Clustering algorithm choices on synthetic archetypes.
@@ -293,7 +311,10 @@ fn main() {
         ),
         (
             "k-means random (8 restarts)",
-            KMeans::new(4).with_seed(5).fit_restarts(&pts, 8).assignments,
+            KMeans::new(4)
+                .with_seed(5)
+                .fit_restarts(&pts, 8)
+                .assignments,
         ),
         (
             "k-means++",

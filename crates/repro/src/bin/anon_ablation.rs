@@ -22,11 +22,21 @@ fn main() {
         config.anonymize = anonymize;
         eprintln!(
             "== generating Geant-like dataset ({}) ...",
-            if anonymize { "anonymized /21" } else { "raw addresses" }
+            if anonymize {
+                "anonymized /21"
+            } else {
+                "raw addresses"
+            }
         );
         let dataset = scheduled_dataset(Topology::geant(), config, 55);
         let (_f, report) = diagnose(&dataset);
-        results.push((anonymize, report.total(), report.entropy_only(), report.volume_only(), report.both()));
+        results.push((
+            anonymize,
+            report.total(),
+            report.entropy_only(),
+            report.volume_only(),
+            report.both(),
+        ));
     }
 
     let mut out = csv::create("anon_ablation.csv");
@@ -34,7 +44,10 @@ fn main() {
         &mut out,
         &["anonymized,total,entropy_only,volume_only,both".into()],
     );
-    println!("\n{:>12} {:>7} {:>13} {:>12} {:>6}", "addresses", "total", "entropy-only", "volume-only", "both");
+    println!(
+        "\n{:>12} {:>7} {:>13} {:>12} {:>6}",
+        "addresses", "total", "entropy-only", "volume-only", "both"
+    );
     for (anon, total, e, v, b) in &results {
         println!(
             "{:>12} {:>7} {:>13} {:>12} {:>6}",

@@ -17,7 +17,9 @@ use entromine::cluster::{variation_curve, Linkage, Signature};
 use entromine::net::Topology;
 use entromine::synth::AnomalyLabel;
 use entromine::{anomaly_point_matrix, cluster_rows, ClassifierConfig, ClusterAlgorithm};
-use entromine_repro::{abilene_config, banner, csv, diagnose, scheduled_dataset, truth_labels, Scale};
+use entromine_repro::{
+    abilene_config, banner, csv, diagnose, scheduled_dataset, truth_labels, Scale,
+};
 
 fn main() {
     let scale = Scale::from_env();
@@ -51,7 +53,11 @@ fn main() {
         ks.iter().copied(),
         CurveAlgorithm::Hierarchical(Linkage::Single),
     );
-    let km_curve = variation_curve(&points, ks.iter().copied(), CurveAlgorithm::KMeans { seed: 8 });
+    let km_curve = variation_curve(
+        &points,
+        ks.iter().copied(),
+        CurveAlgorithm::KMeans { seed: 8 },
+    );
     let mut out10 = csv::create("fig10_abilene.csv");
     csv::row(
         &mut out10,
@@ -90,7 +96,7 @@ fn main() {
         &mut out8,
         &["h_src_ip,h_src_port,h_dst_ip,h_dst_port,label,cluster".into()],
     );
-    for i in 0..points.rows() {
+    for (i, label) in labels.iter().enumerate() {
         let r = points.row(i);
         csv::row(
             &mut out8,
@@ -100,7 +106,7 @@ fn main() {
                 r[1],
                 r[2],
                 r[3],
-                labels[i].map(|l| l.name()).unwrap_or("unmatched"),
+                label.map(|l| l.name()).unwrap_or("unmatched"),
                 clustering.assignments[i]
             )],
         );
@@ -133,7 +139,9 @@ fn main() {
             sig.axis_display(3)
         );
     }
-    let fa_members: Vec<usize> = (0..points.rows()).filter(|&i| labels[i].is_none()).collect();
+    let fa_members: Vec<usize> = (0..points.rows())
+        .filter(|&i| labels[i].is_none())
+        .collect();
     if !fa_members.is_empty() {
         let sig = Signature::of(&points, &fa_members, 3.0);
         println!(
@@ -150,8 +158,8 @@ fn main() {
     // ---- Table 7: the clusters.
     println!("\n== Table 7: anomaly clusters (k = {k}, single-linkage HAC, signs at 3σ)");
     println!(
-        "{:>8} {:>6} {:>18} {:>9} {:>9}   {}",
-        "cluster", "size", "plurality", "in plur.", "unknowns", "sign [srcIP srcPort dstIP dstPort]"
+        "{:>8} {:>6} {:>18} {:>9} {:>9}   sign [srcIP srcPort dstIP dstPort]",
+        "cluster", "size", "plurality", "in plur.", "unknowns"
     );
     let mut out7 = csv::create("table7_abilene_clusters.csv");
     csv::row(
@@ -176,7 +184,12 @@ fn main() {
             &mut out7,
             &[format!(
                 "{},{},{},{},{},{}",
-                row.cluster, row.size, pl, pc, row.unknowns, row.signature.sign_string()
+                row.cluster,
+                row.size,
+                pl,
+                pc,
+                row.unknowns,
+                row.signature.sign_string()
             )],
         );
     }

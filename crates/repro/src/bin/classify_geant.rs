@@ -12,7 +12,9 @@ use entromine::cluster::{variation_curve, Linkage, Signature};
 use entromine::net::Topology;
 use entromine::synth::AnomalyLabel;
 use entromine::{anomaly_point_matrix, cluster_rows, ClassifierConfig, ClusterAlgorithm};
-use entromine_repro::{banner, csv, diagnose, geant_config, abilene_config, scheduled_dataset, truth_labels, Scale};
+use entromine_repro::{
+    abilene_config, banner, csv, diagnose, geant_config, scheduled_dataset, truth_labels, Scale,
+};
 
 fn main() {
     let scale = Scale::from_env();
@@ -41,7 +43,11 @@ fn main() {
         ks.iter().copied(),
         CurveAlgorithm::Hierarchical(Linkage::Single),
     );
-    let km_curve = variation_curve(&points, ks.iter().copied(), CurveAlgorithm::KMeans { seed: 9 });
+    let km_curve = variation_curve(
+        &points,
+        ks.iter().copied(),
+        CurveAlgorithm::KMeans { seed: 9 },
+    );
     let mut out10 = csv::create("fig10_geant.csv");
     csv::row(
         &mut out10,
@@ -76,7 +82,7 @@ fn main() {
         &mut out9,
         &["h_src_ip,h_src_port,h_dst_ip,h_dst_port,label,cluster".into()],
     );
-    for i in 0..points.rows() {
+    for (i, label) in labels.iter().enumerate() {
         let r = points.row(i);
         csv::row(
             &mut out9,
@@ -86,7 +92,7 @@ fn main() {
                 r[1],
                 r[2],
                 r[3],
-                labels[i].map(|l| l.name()).unwrap_or("unmatched"),
+                label.map(|l| l.name()).unwrap_or("unmatched"),
                 clustering.assignments[i]
             )],
         );

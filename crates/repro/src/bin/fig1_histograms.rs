@@ -14,7 +14,11 @@ use entromine_repro::{abilene_config, banner, csv, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 1 — port-scan feature histograms", "§3, Figure 1", scale);
+    banner(
+        "Figure 1 — port-scan feature histograms",
+        "§3, Figure 1",
+        scale,
+    );
 
     let mut config = abilene_config(1, scale);
     config.n_bins = 288; // one day is plenty for two histograms

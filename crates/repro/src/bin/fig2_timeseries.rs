@@ -12,12 +12,16 @@ use entromine_repro::{abilene_config, banner, csv, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 2 — volume vs entropy timeseries", "§3, Figure 2", scale);
+    banner(
+        "Figure 2 — volume vs entropy timeseries",
+        "§3, Figure 2",
+        scale,
+    );
 
     let mut config = abilene_config(2, scale);
     config.n_bins = 2 * 288; // two days, like the paper's 12/19–12/20 window
-    // Target a small OD flow so the scan reshapes its distributions while
-    // staying invisible in volume — exactly the paper's Figure 2 setting.
+                             // Target a small OD flow so the scan reshapes its distributions while
+                             // staying invisible in volume — exactly the paper's Figure 2 setting.
     let net = entromine::synth::SyntheticNetwork::new(Topology::abilene(), config.clone());
     let flow = (0..net.indexer().n_flows())
         .min_by_key(|&f| (net.rates().base_rate(f) - 1500.0).abs() as u64)
@@ -64,10 +68,22 @@ fn main() {
         let s = entromine::linalg::stats::std_dev(&clean).max(1e-12);
         (series[bin] - m) / s
     };
-    println!("\nanomaly bin {} deviation from the rest of the series (z-score):", scan_bin);
-    println!("  # bytes     : {:+6.1} sigma (volume: scan invisible)", z(&bytes, scan_bin));
+    println!(
+        "\nanomaly bin {} deviation from the rest of the series (z-score):",
+        scan_bin
+    );
+    println!(
+        "  # bytes     : {:+6.1} sigma (volume: scan invisible)",
+        z(&bytes, scan_bin)
+    );
     println!("  # packets   : {:+6.1} sigma", z(&packets, scan_bin));
-    println!("  H(dstIP)    : {:+6.1} sigma (entropy: sharp dip expected)", z(&h_dst_ip, scan_bin));
-    println!("  H(dstPort)  : {:+6.1} sigma (entropy: sharp spike expected)", z(&h_dst_port, scan_bin));
+    println!(
+        "  H(dstIP)    : {:+6.1} sigma (entropy: sharp dip expected)",
+        z(&h_dst_ip, scan_bin)
+    );
+    println!(
+        "  H(dstPort)  : {:+6.1} sigma (entropy: sharp spike expected)",
+        z(&h_dst_port, scan_bin)
+    );
     println!("\nwrote results/fig2_timeseries.csv");
 }

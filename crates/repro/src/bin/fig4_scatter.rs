@@ -62,10 +62,16 @@ fn main() {
         "panel", "clean", "volume-only", "entropy-only", "both"
     );
     let (n, v, en, bo) = quadrants(&b, t_bytes);
-    println!("{:>22} {:>10} {:>12} {:>13} {:>7}", "entropy vs bytes", n, v, en, bo);
+    println!(
+        "{:>22} {:>10} {:>12} {:>13} {:>7}",
+        "entropy vs bytes", n, v, en, bo
+    );
     let byte_overlap = bo as f64 / (en + bo).max(1) as f64;
     let (n, v, en2, bo2) = quadrants(&p, t_packets);
-    println!("{:>22} {:>10} {:>12} {:>13} {:>7}", "entropy vs packets", n, v, en2, bo2);
+    println!(
+        "{:>22} {:>10} {:>12} {:>13} {:>7}",
+        "entropy vs packets", n, v, en2, bo2
+    );
     let pkt_overlap = bo2 as f64 / (en2 + bo2).max(1) as f64;
     println!(
         "\noverlap of entropy detections with volume: bytes {:.0}%, packets {:.0}%",

@@ -46,19 +46,17 @@ fn main() {
     let n_flows = bench.dataset.n_flows();
     let mut rng = SmallRng::seed_from_u64(0xF195);
     for (kind, factors) in cases {
-        println!("\n== {} ({:.3e} pps raw)", kind.name(), kind.intensity_pps());
+        println!(
+            "\n== {} ({:.3e} pps raw)",
+            kind.name(),
+            kind.intensity_pps()
+        );
         println!(
             "{:>9} {:>13} | {:>11} {:>13} | {:>11} {:>13}",
             "thinning", "pkts/bin", "vol@.999", "vol+ent@.999", "vol@.995", "vol+ent@.995"
         );
         for &factor in factors {
-            let mean = sampled_count(
-                kind,
-                factor,
-                config.sample_rate,
-                300,
-                config.traffic_scale,
-            );
+            let mean = sampled_count(kind, factor, config.sample_rate, 300, config.traffic_scale);
             let mut rates = Vec::new();
             for &alpha in &alphas {
                 let (tb, tp, te) = bench.thresholds(alpha);

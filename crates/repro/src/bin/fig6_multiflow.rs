@@ -12,7 +12,9 @@ use entromine::net::{OdPair, Topology};
 use entromine::synth::distr::poisson;
 use entromine::synth::traces::{sampled_attack_packets, sampled_count};
 use entromine::synth::TraceKind;
-use entromine_repro::{abilene_config, banner, choose, csv, for_each_combination, InjectionBench, Scale};
+use entromine_repro::{
+    abilene_config, banner, choose, csv, for_each_combination, InjectionBench, Scale,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -59,7 +61,8 @@ fn main() {
             print!("{:>4} |", k);
             for &factor in thinnings {
                 // Total attack packets per bin, split across k flows.
-                let total = sampled_count(kind, factor, config.sample_rate, 300, config.traffic_scale);
+                let total =
+                    sampled_count(kind, factor, config.sample_rate, 300, config.traffic_scale);
                 let per_flow = total / k as f64;
                 let mut experiments = 0usize;
                 let mut hits = 0usize;

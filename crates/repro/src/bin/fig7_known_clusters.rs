@@ -7,12 +7,12 @@
 //! cases out of 296 where an anomaly is placed in the wrong cluster".
 
 use entromine::cluster::Linkage;
+use entromine::linalg::Mat;
 use entromine::net::Topology;
 use entromine::synth::distr::poisson;
 use entromine::synth::traces::{sampled_attack_packets, sampled_count};
 use entromine::synth::TraceKind;
 use entromine::{unit_norm, ClassifierConfig, ClusterAlgorithm};
-use entromine::linalg::Mat;
 use entromine_repro::{abilene_config, banner, csv, InjectionBench, Scale};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -45,7 +45,13 @@ fn main() {
     let mut points_raw: Vec<[f64; 4]> = Vec::new();
     let mut truth: Vec<usize> = Vec::new();
     for (type_idx, (kind, thinning)) in cases.iter().enumerate() {
-        let mean = sampled_count(*kind, *thinning, config.sample_rate, 300, config.traffic_scale);
+        let mean = sampled_count(
+            *kind,
+            *thinning,
+            config.sample_rate,
+            300,
+            config.traffic_scale,
+        );
         for i in 0..per_type {
             let flow = rng.random_range(0..n_flows);
             let od = bench.dataset.net.indexer().pair(flow);
@@ -75,7 +81,10 @@ fn main() {
         points.row_mut(i).copy_from_slice(p);
     }
 
-    eprintln!("clustering {} anomalies with k = 3 (single-linkage HAC) ...", points.rows());
+    eprintln!(
+        "clustering {} anomalies with k = 3 (single-linkage HAC) ...",
+        points.rows()
+    );
     let clustering = ClassifierConfig {
         k: 3,
         algorithm: ClusterAlgorithm::Hierarchical(Linkage::Single),
@@ -142,8 +151,8 @@ fn main() {
     for (t, name) in names.iter().enumerate() {
         let mut mean = [0.0f64; 4];
         let mut n = 0.0;
-        for i in 0..points.rows() {
-            if truth[i] == t {
+        for (i, &tr) in truth.iter().enumerate() {
+            if tr == t {
                 for (m, &v) in mean.iter_mut().zip(points.row(i)) {
                     *m += v;
                 }

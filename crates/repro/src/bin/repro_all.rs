@@ -29,8 +29,13 @@ fn main() {
     let mut failures = Vec::new();
     for bin in BINARIES {
         println!("\n########## {bin} ##########");
-        let mut cmd = Command::new(std::env::current_exe().expect("self path")
-            .parent().expect("bin dir").join(bin));
+        let mut cmd = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .parent()
+                .expect("bin dir")
+                .join(bin),
+        );
         if full {
             cmd.arg("--full");
         }

@@ -14,7 +14,9 @@
 use entromine::net::Topology;
 use entromine::synth::AnomalyLabel;
 use entromine::{label_breakdown, match_truth, MatchOutcome};
-use entromine_repro::{abilene_config, banner, csv, diagnose, geant_config, scheduled_dataset, Scale};
+use entromine_repro::{
+    abilene_config, banner, csv, diagnose, geant_config, scheduled_dataset, Scale,
+};
 
 fn main() {
     let scale = Scale::from_env();
@@ -112,7 +114,10 @@ fn main() {
             )],
         );
     }
-    println!("{:>18} {:>9} {:>16} {:>21} {:>7}", "False Alarm", "-", "-", "-", fas);
+    println!(
+        "{:>18} {:>9} {:>16} {:>21} {:>7}",
+        "False Alarm", "-", "-", "-", fas
+    );
 
     // The paper's headline claim from Table 3.
     let rows = label_breakdown(report, &dataset.truth);
@@ -121,7 +126,9 @@ fn main() {
         .filter(|r| {
             matches!(
                 r.label,
-                AnomalyLabel::PortScan | AnomalyLabel::NetworkScan | AnomalyLabel::PointToMultipoint
+                AnomalyLabel::PortScan
+                    | AnomalyLabel::NetworkScan
+                    | AnomalyLabel::PointToMultipoint
             )
         })
         .collect();

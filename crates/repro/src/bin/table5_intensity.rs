@@ -19,7 +19,10 @@ fn main() {
     banner("Tables 4 & 5 — injected trace intensities", "§6.3.1", scale);
 
     println!("\n== Table 4: known anomaly traces injected");
-    println!("{:>20} {:>18} {:>26}", "anomaly type", "intensity (pps)", "modeled source");
+    println!(
+        "{:>20} {:>18} {:>26}",
+        "anomaly type", "intensity (pps)", "modeled source"
+    );
     for kind in TraceKind::ALL {
         let source = match kind {
             TraceKind::DosSingle | TraceKind::DosMulti => "Hussain et al. [11]",
@@ -45,7 +48,10 @@ fn main() {
     let mut out = csv::create("table5_intensity.csv");
     csv::row(&mut out, &["trace,thinning,pps,percent_of_od_flow".into()]);
     println!("\n== Table 5: intensity of injected anomalies per thinning factor");
-    println!("{:>20} {:>10} {:>14} {:>12}", "trace", "thinning", "pkts/sec", "% of flow");
+    println!(
+        "{:>20} {:>10} {:>14} {:>12}",
+        "trace", "thinning", "pkts/sec", "% of flow"
+    );
     for (kind, factors) in paper_rows {
         for &f in factors {
             let eff = f.max(1) as f64;
@@ -67,7 +73,11 @@ fn main() {
     println!("\n== mechanical §6.3.1 pipeline check (worm trace, fully materialized)");
     let trace = AttackTrace::generate(TraceKind::WormScan, 9, 300, usize::MAX);
     let attack = trace.extract_attack();
-    println!("  generated {} packets total, extracted {} attack packets", trace.packets.len(), attack.len());
+    println!(
+        "  generated {} packets total, extracted {} attack packets",
+        trace.packets.len(),
+        attack.len()
+    );
     let topo = Topology::abilene();
     let plan = entromine::net::AddressPlan::standard(&topo);
     let remapped = remap_to_network(&attack, &plan, OdPair::new(3, 9), true, 0, 5);

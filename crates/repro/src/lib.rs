@@ -140,7 +140,11 @@ impl InjectionBench {
             bytes_row[flow] = s.bytes as f64;
             packets_row[flow] = s.packets as f64;
         }
-        let b = self.fitted.bytes_model().spe(&bytes_row).expect("bytes spe");
+        let b = self
+            .fitted
+            .bytes_model()
+            .spe(&bytes_row)
+            .expect("bytes spe");
         let pk = self
             .fitted
             .packets_model()
@@ -157,7 +161,10 @@ impl InjectionBench {
     /// The three detection thresholds at `alpha`.
     pub fn thresholds(&self, alpha: f64) -> (f64, f64, f64) {
         (
-            self.fitted.bytes_model().threshold(alpha).expect("threshold"),
+            self.fitted
+                .bytes_model()
+                .threshold(alpha)
+                .expect("threshold"),
             self.fitted
                 .packets_model()
                 .threshold(alpha)
@@ -186,9 +193,7 @@ pub fn scheduled_dataset(topology: Topology, config: DatasetConfig, seed: u64) -
 
 /// Fits the default diagnoser and produces the report, with progress
 /// output.
-pub fn diagnose(
-    dataset: &Dataset,
-) -> (entromine::FittedDiagnoser, entromine::DiagnosisReport) {
+pub fn diagnose(dataset: &Dataset) -> (entromine::FittedDiagnoser, entromine::DiagnosisReport) {
     eprintln!(
         "  fitting subspace models on {} bins x {} flows ...",
         dataset.n_bins(),
@@ -259,12 +264,7 @@ pub fn choose(n: usize, k: usize) -> usize {
 /// Iterates over all `k`-subsets of `0..n` in lexicographic order, calling
 /// `f` with each subset; if `cap` is hit, stops early and returns how many
 /// were visited.
-pub fn for_each_combination(
-    n: usize,
-    k: usize,
-    cap: usize,
-    mut f: impl FnMut(&[usize]),
-) -> usize {
+pub fn for_each_combination(n: usize, k: usize, cap: usize, mut f: impl FnMut(&[usize])) -> usize {
     if k == 0 || k > n {
         return 0;
     }

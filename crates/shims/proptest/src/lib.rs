@@ -1,0 +1,425 @@
+//! Vendored stand-in for the parts of the [`proptest`] crate this
+//! workspace uses, implemented from scratch because the build environment
+//! has no access to crates.io.
+//!
+//! Supported surface: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), `prop_assert!` / `prop_assert_eq!`
+//! / `prop_assert_ne!` / `prop_assume!`, range and tuple strategies,
+//! [`any`], [`collection::vec`], and [`Strategy::prop_map`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via `Debug`) and
+//!   the case number, but is not minimized.
+//! * **Deterministic.** Each test derives its RNG seed from its own name,
+//!   so failures reproduce exactly; there is no persistence file.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies by the [`proptest!`] runner.
+pub type TestRng = StdRng;
+
+/// Derives a stable per-test RNG from the test's name.
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a; any stable hash works, it only decouples sibling tests.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A recipe for generating random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Returns a strategy producing `f(value)` for each generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+impl<T: rand::SampleUniform + PartialOrd + Clone> Strategy for core::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform + PartialOrd + Copy> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_full_range {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+impl_arbitrary_full_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    /// Uniform in `[-1e9, 1e9]` — finite by construction (the real crate
+    /// generates NaN/infinities too; nothing here relies on those).
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.random_range(-1e9..1e9)
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy for any value of type `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// An inclusive range of collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything a property-test file normally imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a regular test running the body against `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::rng_for_test(stringify!($name));
+                for case in 0..config.cases {
+                    // Snapshot the RNG so failing inputs can be regenerated
+                    // for the report; the passing path pays nothing beyond
+                    // this cheap state copy.
+                    let rng_snapshot = rng.clone();
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::core::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(message) = outcome {
+                        let mut replay = rng_snapshot;
+                        $(let $arg = $crate::Strategy::generate(&($strat), &mut replay);)*
+                        let dbg_inputs = format!(
+                            concat!($("  ", stringify!($arg), " = {:?}\n",)*),
+                            $(&$arg,)*
+                        );
+                        panic!(
+                            "property '{}' failed at case {}/{}:\n{}with inputs:\n{}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            message,
+                            dbg_inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Like `assert!`, but inside [`proptest!`] bodies: reports the failing
+/// inputs along with the condition.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                ::std::format!("prop_assert failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Like `assert_eq!` inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert_eq failed: {} != {}\n  left: {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!($($fmt)*));
+        }
+    }};
+}
+
+/// Like `assert_ne!` inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert_ne failed: both sides equal {:?}",
+                l
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_hit_their_bounds(x in 3usize..10, y in -2.5f64..2.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn prop_map_applies(x in even()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_vecs(pair in (any::<u32>(), 0u8..=32), v in crate::collection::vec(0u32..5, 2..7)) {
+            let (_, len) = pair;
+            prop_assert!(len <= 32);
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x != 5);
+            prop_assert_ne!(x, 5);
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let mut rng = crate::rng_for_test("exact_size_vec");
+        let v = crate::collection::vec(0u32..9, 12).generate(&mut rng);
+        assert_eq!(v.len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_fails' failed")]
+    fn failure_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,435 @@
+//! Vendored stand-in for the parts of the [`rand`] crate this workspace
+//! uses, implemented from scratch because the build environment has no
+//! access to crates.io.
+//!
+//! API-compatible (for the used surface) with rand 0.9:
+//!
+//! * [`Rng`] — `random`, `random_range`, `random_bool`, `random_ratio`.
+//! * [`SeedableRng`] — `seed_from_u64` / `from_seed`.
+//! * [`rngs::StdRng`] and [`rngs::SmallRng`] (behind the `small_rng`
+//!   feature, matching the real crate) — both xoshiro256++ seeded through
+//!   SplitMix64, which passes BigCrush; statistical quality matters here
+//!   because the synthetic traffic generator and the k-means seeding tests
+//!   rely on it.
+//! * [`seq::index::sample`] — partial Fisher–Yates sampling without
+//!   replacement.
+//!
+//! Generated streams do **not** bit-match the real crate's; everything in
+//! this workspace treats seeds as opaque determinism handles, so only
+//! stability *within* this implementation matters.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+/// The core of a random number generator: a source of random `u32`/`u64`s.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array for the RNGs provided here).
+    type Seed;
+
+    /// Creates an RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates an RNG from a `u64`, expanding it with SplitMix64 (the
+    /// same convention the real crate documents).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an RNG via [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types with a uniform sampler over sub-ranges; the machinery behind
+/// [`Rng::random_range`].
+pub trait SampleUniform: Sized {
+    /// Draws uniformly from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// A range usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+/// Uniform `u64` in `[0, span)` by widening multiply (Lemire's unbiased
+/// rejection method's fast path; the bias of the plain fast path is below
+/// `span / 2^64`, far beneath anything these simulations can resolve).
+pub(crate) fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                if span == 0 || span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64/usize domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let u = <$t as Standard>::sample_standard(rng);
+                let v = lo + (hi - lo) * u;
+                if !inclusive && v >= hi {
+                    // Rounding in the multiply-add can land exactly on `hi`
+                    // when its ulp exceeds the gap left by u < 1.
+                    return hi.next_down().max(lo);
+                }
+                v
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// User-facing generation methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn random_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.random::<f64>() < p
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    fn random_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0 && numerator <= denominator);
+        uniform_u64(self, denominator as u64) < numerator as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ core shared by [`rngs::StdRng`] and [`rngs::SmallRng`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // An all-zero state is a fixed point; SplitMix64 cannot produce
+        // four zero outputs in a row, so `s` is always valid here.
+        Xoshiro256 { s }
+    }
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (w, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if s == [0; 4] {
+            return Self::seed_from_u64(0);
+        }
+        Xoshiro256 { s }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+macro_rules! define_rng {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name(Xoshiro256);
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                (self.0.next() >> 32) as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next()
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                $name(Xoshiro256::from_seed(seed))
+            }
+            fn seed_from_u64(state: u64) -> Self {
+                $name(Xoshiro256::seed_from_u64(state))
+            }
+        }
+    };
+}
+
+/// The seedable generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Xoshiro256};
+
+    define_rng! {
+        /// The workspace's default deterministic RNG (xoshiro256++).
+        StdRng
+    }
+
+    #[cfg(feature = "small_rng")]
+    define_rng! {
+        /// A small, fast RNG — here the same xoshiro256++ as [`StdRng`],
+        /// which already is the "small fast" option.
+        SmallRng
+    }
+}
+
+/// Sequence-related sampling helpers.
+pub mod seq {
+    /// Index sampling without replacement.
+    pub mod index {
+        use crate::RngCore;
+
+        /// A set of sampled indices (always the "vector of `usize`"
+        /// representation; the real crate's u32 compaction is an
+        /// optimization we don't need).
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Iterates over the sampled indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Converts into a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length`, uniformly at
+        /// random, via a partial Fisher–Yates shuffle.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices from {length}"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            let mut out = Vec::with_capacity(amount);
+            for i in 0..amount {
+                let j = i + crate::uniform_u64(rng, (length - i) as u64) as usize;
+                pool.swap(i, j);
+                out.push(pool[i]);
+            }
+            IndexVec(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::index::sample;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(5i64..=7);
+            assert!((5..=7).contains(&w));
+        }
+    }
+
+    #[test]
+    fn range_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = sample(&mut rng, 50, 20).into_vec();
+        assert_eq!(s.len(), 20);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "indices must be distinct");
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn random_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!(
+            (23_000..27_000).contains(&hits),
+            "p=0.25 gave {hits}/100000"
+        );
+    }
+}

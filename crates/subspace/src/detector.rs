@@ -186,8 +186,7 @@ mod tests {
         Mat::from_fn(t, p, |i, j| {
             let phase = i as f64 / 288.0 * std::f64::consts::TAU;
             let (w1, w2) = weights[j];
-            10.0 + w1 * phase.sin() + w2 * (2.0 * phase).cos()
-                + noise * (rng.random::<f64>() - 0.5)
+            10.0 + w1 * phase.sin() + w2 * (2.0 * phase).cos() + noise * (rng.random::<f64>() - 0.5)
         })
     }
 

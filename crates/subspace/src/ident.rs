@@ -89,7 +89,7 @@ pub(crate) fn identify_greedy(
             if drop <= 0.0 {
                 continue;
             }
-            if best.map_or(true, |(_, _, d)| drop > d) {
+            if best.is_none_or(|(_, _, d)| drop > d) {
                 best = Some((flow, [f[0], f[1], f[2], f[3]], drop));
             }
         }
@@ -131,12 +131,7 @@ pub(crate) fn identify_greedy(
 
 /// The four unfolded column indices of a flow.
 fn flow_columns(flow: usize, n_flows: usize) -> [usize; 4] {
-    [
-        flow,
-        n_flows + flow,
-        2 * n_flows + flow,
-        3 * n_flows + flow,
-    ]
+    [flow, n_flows + flow, 2 * n_flows + flow, 3 * n_flows + flow]
 }
 
 /// `G = I₄ - P_k P_kᵀ` for the four rows `cols` of the axis matrix.

@@ -144,7 +144,11 @@ impl MultiwayModel {
     }
 
     /// Detects anomalous bins across the whole tensor.
-    pub fn detect(&self, tensor: &EntropyTensor, alpha: f64) -> Result<Vec<Detection>, SubspaceError> {
+    pub fn detect(
+        &self,
+        tensor: &EntropyTensor,
+        alpha: f64,
+    ) -> Result<Vec<Detection>, SubspaceError> {
         let threshold = self.threshold(alpha)?;
         let mut out = Vec::new();
         for bin in 0..tensor.n_bins() {
@@ -242,11 +246,10 @@ mod tests {
         let mut b = TensorBuilder::new(t, p);
         for bin in 0..t {
             let phase = (bin as f64 / 288.0) * std::f64::consts::TAU;
-            for flow in 0..p {
+            for (flow, gain) in gains.iter().enumerate() {
                 let mut e = [0.0f64; 4];
                 for (k, ek) in e.iter_mut().enumerate() {
-                    *ek = gains[flow][k] * (1.0 + 0.2 * phase.sin())
-                        + noise * (rng.random::<f64>() - 0.5);
+                    *ek = gain[k] * (1.0 + 0.2 * phase.sin()) + noise * (rng.random::<f64>() - 0.5);
                 }
                 if let Some((abin, aflow)) = anomaly {
                     if bin == abin && flow == aflow {
@@ -322,9 +325,7 @@ mod tests {
     fn anomaly_vector_sign_structure() {
         let tensor = build_tensor(300, 8, 0.2, 4, Some((150, 4)));
         let model = MultiwayModel::fit(&tensor, DimSelection::Fixed(1)).unwrap();
-        let v = model
-            .anomaly_vector(&tensor.unfolded_row(150), 4)
-            .unwrap();
+        let v = model.anomaly_vector(&tensor.unfolded_row(150), 4).unwrap();
         // Port scan: residual dstPort entropy strongly positive, dstIP
         // strongly negative (FEATURES order: srcIP, srcPort, dstIP, dstPort).
         assert!(v[3] > 0.0, "dstPort residual should rise: {v:?}");
@@ -366,7 +367,7 @@ mod tests {
     fn zero_energy_feature_does_not_poison_model() {
         // All-zero dstPort entropy (e.g. ICMP-only network): divisor
         // falls back to 1, model still fits and detects nothing odd.
-        let mut b = TensorBuilder::new(60, 3, );
+        let mut b = TensorBuilder::new(60, 3);
         let mut rng = StdRng::seed_from_u64(7);
         for bin in 0..60 {
             for flow in 0..3 {

@@ -192,7 +192,9 @@ pub fn anomaly_packets(
             for _ in 0..n {
                 let spoofed = Ipv4(block.first().0 + rng.random_range(0..block.size()) as u32);
                 let sport: u16 = rng.random_range(1024..=65535);
-                packets.push(PacketHeader::tcp(spoofed, sport, victim, dport, 40, timestamp));
+                packets.push(PacketHeader::tcp(
+                    spoofed, sport, victim, dport, 40, timestamp,
+                ));
             }
         }
 
@@ -218,7 +220,9 @@ pub fn anomaly_packets(
             let start_port = stable.random_range(1u32..20000);
             for i in 0..n {
                 let dport = (start_port + i as u32 % 45000) as u16;
-                packets.push(PacketHeader::tcp(scanner, sport, target, dport, 40, timestamp));
+                packets.push(PacketHeader::tcp(
+                    scanner, sport, target, dport, 40, timestamp,
+                ));
             }
         }
 
@@ -236,7 +240,14 @@ pub fn anomaly_packets(
             for i in 0..n {
                 let dst = Ipv4(block.first().0 + rng.random_range(0..block.size()) as u32);
                 let sport = (sport0 + i as u32) as u16;
-                packets.push(PacketHeader::tcp(scanner, sport.max(1024), dst, dport, 40, timestamp));
+                packets.push(PacketHeader::tcp(
+                    scanner,
+                    sport.max(1024),
+                    dst,
+                    dport,
+                    40,
+                    timestamp,
+                ));
             }
         }
 
@@ -263,7 +274,9 @@ pub fn anomaly_packets(
             for _ in 0..n {
                 let dst = plan.host(od.dest, rng.random_range(0..256));
                 let dport: u16 = rng.random_range(1024..=65535);
-                packets.push(PacketHeader::tcp(server, sport, dst, dport, 1200, timestamp));
+                packets.push(PacketHeader::tcp(
+                    server, sport, dst, dport, 1200, timestamp,
+                ));
             }
         }
 
@@ -317,7 +330,9 @@ mod tests {
             assert!(packets.iter().all(|p| p.timestamp == 42));
         }
         // Outage injects nothing.
-        assert!(anomaly_packets(AnomalyLabel::Outage, &plan, OdPair::new(0, 1), 500, 0, 7).is_empty());
+        assert!(
+            anomaly_packets(AnomalyLabel::Outage, &plan, OdPair::new(0, 1), 500, 0, 7).is_empty()
+        );
     }
 
     #[test]
@@ -402,8 +417,22 @@ mod tests {
         // The same event seed must target the same victim in every bin.
         let topo = Topology::abilene();
         let plan = AddressPlan::standard(&topo);
-        let a = anomaly_packets(AnomalyLabel::DosSingle, &plan, OdPair::new(0, 1), 10, 100, 7);
-        let b = anomaly_packets(AnomalyLabel::DosSingle, &plan, OdPair::new(0, 1), 10, 200, 7);
+        let a = anomaly_packets(
+            AnomalyLabel::DosSingle,
+            &plan,
+            OdPair::new(0, 1),
+            10,
+            100,
+            7,
+        );
+        let b = anomaly_packets(
+            AnomalyLabel::DosSingle,
+            &plan,
+            OdPair::new(0, 1),
+            10,
+            200,
+            7,
+        );
         assert_eq!(a[0].dst_ip, b[0].dst_ip, "victim drifted between bins");
         assert_eq!(a[0].src_ip, b[0].src_ip, "attacker drifted between bins");
     }

@@ -20,12 +20,14 @@
 //! thousands of candidate injections (Figures 5–6) without regenerating
 //! whole datasets.
 
-use crate::anomaly::{anomaly_packets, AnomalyEvent, AnomalyLabel, InjectedAnomaly, OUTAGE_RATE_FACTOR};
+use crate::anomaly::{
+    anomaly_packets, AnomalyEvent, AnomalyLabel, InjectedAnomaly, OUTAGE_RATE_FACTOR,
+};
 use crate::cell_seed;
 use crate::distr::poisson;
 use crate::eigenflow::{RateModel, BINS_PER_WEEK};
-use crate::services::{baseline_packet, EphemeralPool, HostPool, ServiceMix};
 use crate::mix64;
+use crate::services::{baseline_packet, EphemeralPool, HostPool, ServiceMix};
 use entromine_entropy::{BinAccumulator, BinSummary, EntropyTensor, TensorBuilder, VolumeMatrix};
 use entromine_net::{AddressPlan, OdIndexer, PacketHeader, Topology};
 use rand::rngs::SmallRng;
@@ -103,8 +105,7 @@ impl DatasetConfig {
 
     /// Mean sampled packets per bin per OD flow under this configuration.
     pub fn mean_sampled_packets_per_bin(&self) -> f64 {
-        Self::PAPER_MEAN_PPS * Self::BIN_SECS as f64 * self.traffic_scale
-            / self.sample_rate as f64
+        Self::PAPER_MEAN_PPS * Self::BIN_SECS as f64 * self.traffic_scale / self.sample_rate as f64
     }
 
     /// Converts an unsampled intensity in packets/second into expected
@@ -242,11 +243,13 @@ impl SyntheticNetwork {
             if ev.event.label == AnomalyLabel::Outage || !ev.covers(bin, flow) {
                 continue;
             }
-            let mut rng =
-                SmallRng::seed_from_u64(mix64(ev.event.seed ^ cell_seed(self.config.seed, bin, flow)));
+            let mut rng = SmallRng::seed_from_u64(mix64(
+                ev.event.seed ^ cell_seed(self.config.seed, bin, flow),
+            ));
             let n = poisson(&mut rng, ev.event.packets_per_cell);
             let od = self.indexer.pair(flow);
-            for mut pkt in anomaly_packets(ev.event.label, &self.plan, od, n, timestamp, ev.event.seed)
+            for mut pkt in
+                anomaly_packets(ev.event.label, &self.plan, od, n, timestamp, ev.event.seed)
             {
                 if self.config.anonymize {
                     pkt = pkt.anonymized();
@@ -277,7 +280,11 @@ impl Dataset {
     /// Uses scoped threads to parallelize over bins; output is identical
     /// regardless of thread count because every cell draws from its own
     /// seeded stream.
-    pub fn generate(topology: Topology, config: DatasetConfig, events: Vec<AnomalyEvent>) -> Dataset {
+    pub fn generate(
+        topology: Topology,
+        config: DatasetConfig,
+        events: Vec<AnomalyEvent>,
+    ) -> Dataset {
         let net = SyntheticNetwork::new(topology, config);
         let truth: Vec<InjectedAnomaly> = events
             .into_iter()
@@ -292,8 +299,7 @@ impl Dataset {
         let n_threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
-            .min(16)
-            .max(1);
+            .clamp(1, 16);
         let mut rows: Vec<Vec<BinSummary>> = vec![Vec::new(); n_bins];
         {
             let net_ref = &net;
@@ -312,9 +318,9 @@ impl Dataset {
                 }
                 out
             };
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for (start, chunk) in chunks {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         for (offset, row) in chunk.iter_mut().enumerate() {
                             let bin = start + offset;
                             *row = (0..n_flows)
@@ -323,8 +329,7 @@ impl Dataset {
                         }
                     });
                 }
-            })
-            .expect("dataset generation worker panicked");
+            });
         }
         for (bin, row) in rows.iter().enumerate() {
             for (flow, summary) in row.iter().enumerate() {
@@ -359,11 +364,7 @@ impl Dataset {
     /// `(bin, flows[i])` and return the modified unfolded entropy row plus
     /// the modified byte/packet volume rows — without mutating the
     /// dataset. This is the Figure 5/6 inner loop.
-    pub fn whatif_rows(
-        &self,
-        bin: usize,
-        injections: &[(usize, &[PacketHeader])],
-    ) -> WhatIfRow {
+    pub fn whatif_rows(&self, bin: usize, injections: &[(usize, &[PacketHeader])]) -> WhatIfRow {
         let mut entropy_row = self.tensor.unfolded_row(bin);
         let mut bytes_row = self.volumes.bytes().row(bin).to_vec();
         let mut packets_row = self.volumes.packets().row(bin).to_vec();
@@ -425,19 +426,30 @@ mod tests {
         let a = Dataset::clean(Topology::line(3), tiny_config(5));
         let b = Dataset::clean(Topology::line(3), tiny_config(5));
         assert_eq!(a.tensor.unfold().as_slice(), b.tensor.unfold().as_slice());
-        assert_eq!(a.volumes.packets().as_slice(), b.volumes.packets().as_slice());
+        assert_eq!(
+            a.volumes.packets().as_slice(),
+            b.volumes.packets().as_slice()
+        );
     }
 
     #[test]
     fn different_seeds_differ() {
         let a = Dataset::clean(Topology::line(3), tiny_config(5));
         let b = Dataset::clean(Topology::line(3), tiny_config(6));
-        assert_ne!(a.volumes.packets().as_slice(), b.volumes.packets().as_slice());
+        assert_ne!(
+            a.volumes.packets().as_slice(),
+            b.volumes.packets().as_slice()
+        );
     }
 
     #[test]
     fn volumes_match_expected_scale() {
-        let cfg = tiny_config(7);
+        // The configured mean is only realized once the diurnal basis
+        // integrates out, so average over one full day; a fraction of a
+        // day can sit arbitrarily close to the diurnal peak or trough
+        // depending on the seeded phase. The 25% tolerance absorbs the
+        // weekly pattern (<= 16% over a one-day window) plus noise.
+        let cfg = tiny_config(7).bins(crate::eigenflow::BINS_PER_DAY);
         let expected = cfg.mean_sampled_packets_per_bin();
         let d = Dataset::clean(Topology::line(3), cfg);
         let total: f64 = d.volumes.packets().as_slice().iter().sum();

@@ -242,7 +242,10 @@ mod tests {
         let rates: Vec<f64> = (0..BINS_PER_DAY).map(|b| m.mean_rate(flow, b)).collect();
         let max = rates.iter().cloned().fold(f64::MIN, f64::max);
         let min = rates.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max / min.max(1e-9) > 1.2, "no diurnal variation: {min}..{max}");
+        assert!(
+            max / min.max(1e-9) > 1.2,
+            "no diurnal variation: {min}..{max}"
+        );
     }
 
     #[test]

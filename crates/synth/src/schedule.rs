@@ -50,9 +50,7 @@ impl Schedule {
         let sum: f64 = raw.iter().map(|(_, c)| c).sum();
         let counts = raw
             .iter()
-            .map(|&(label, c)| {
-                (label, ((c / sum * total as f64).round() as usize).max(1))
-            })
+            .map(|&(label, c)| (label, ((c / sum * total as f64).round() as usize).max(1)))
             .collect();
         Schedule {
             seed,
@@ -147,10 +145,7 @@ impl Schedule {
                             .take(k)
                             .map(|o| net.indexer().index(entromine_net::OdPair::new(o, dest)))
                             .collect();
-                        let avg = flows
-                            .iter()
-                            .map(|&f| net.rates().base_rate(f))
-                            .sum::<f64>()
+                        let avg = flows.iter().map(|&f| net.rates().base_rate(f)).sum::<f64>()
                             / flows.len() as f64;
                         (flows, avg)
                     }
@@ -168,8 +163,8 @@ impl Schedule {
                     }
                 };
 
-                let frac = self.intensity.0
-                    + (self.intensity.1 - self.intensity.0) * rng.random::<f64>();
+                let frac =
+                    self.intensity.0 + (self.intensity.1 - self.intensity.0) * rng.random::<f64>();
                 // Two intensity regimes: alpha flows scale with the pipe
                 // they fill, but attack/scan rates are *attacker-chosen
                 // absolutes* — a scanner probes at the same packet rate
@@ -270,11 +265,8 @@ mod tests {
         assert!(!ddos.is_empty());
         for ev in ddos {
             assert!(ev.flows.len() >= 2);
-            let dests: std::collections::HashSet<usize> = ev
-                .flows
-                .iter()
-                .map(|&f| n.indexer().pair(f).dest)
-                .collect();
+            let dests: std::collections::HashSet<usize> =
+                ev.flows.iter().map(|&f| n.indexer().pair(f).dest).collect();
             assert_eq!(dests.len(), 1, "DDOS must share one destination");
             let origins: std::collections::HashSet<usize> = ev
                 .flows

@@ -260,6 +260,7 @@ impl ServiceMix {
 /// flow direction (source at the origin PoP, destination at the
 /// destination PoP) so that OD aggregation by routing assigns it back to
 /// the same flow.
+#[allow(clippy::too_many_arguments)] // the flow context really is nine-dimensional
 pub fn baseline_packet<R: Rng + ?Sized>(
     plan: &AddressPlan,
     pool: &HostPool,
@@ -381,10 +382,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut acc = BinAccumulator::new();
         for _ in 0..2000 {
-            acc.add_packet(&baseline_packet(&plan, &pool, &mix, &eph, 0.5, 2, 9, 0, &mut rng));
+            acc.add_packet(&baseline_packet(
+                &plan, &pool, &mix, &eph, 0.5, 2, 9, 0, &mut rng,
+            ));
         }
         let s = acc.summarize();
-        for f in [Feature::SrcIp, Feature::DstIp, Feature::SrcPort, Feature::DstPort] {
+        for f in [
+            Feature::SrcIp,
+            Feature::DstIp,
+            Feature::SrcPort,
+            Feature::DstPort,
+        ] {
             let e = s.entropy_of(f);
             assert!(e > 1.0, "{f} entropy too low: {e}");
             assert!(e < 11.0, "{f} entropy too high: {e}");
@@ -451,10 +459,12 @@ mod tests {
         let mut count_a = 0;
         let mut count_b = 0;
         for _ in 0..3000 {
-            if baseline_packet(&plan, &pool, &mix_a, &eph, 0.5, 0, 1, 0, &mut rng_a).dst_port == 80 {
+            if baseline_packet(&plan, &pool, &mix_a, &eph, 0.5, 0, 1, 0, &mut rng_a).dst_port == 80
+            {
                 count_a += 1;
             }
-            if baseline_packet(&plan, &pool, &mix_b, &eph, 0.5, 0, 1, 0, &mut rng_b).dst_port == 80 {
+            if baseline_packet(&plan, &pool, &mix_b, &eph, 0.5, 0, 1, 0, &mut rng_b).dst_port == 80
+            {
                 count_b += 1;
             }
         }

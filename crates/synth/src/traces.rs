@@ -49,7 +49,11 @@ pub enum TraceKind {
 
 impl TraceKind {
     /// All three traces.
-    pub const ALL: [TraceKind; 3] = [TraceKind::DosSingle, TraceKind::DosMulti, TraceKind::WormScan];
+    pub const ALL: [TraceKind; 3] = [
+        TraceKind::DosSingle,
+        TraceKind::DosMulti,
+        TraceKind::WormScan,
+    ];
 
     /// The documented unthinned intensity in packets per second.
     pub const fn intensity_pps(self) -> f64 {
@@ -351,7 +355,10 @@ mod tests {
         let t = AttackTrace::generate(TraceKind::WormScan, 1, 300, 1_000_000);
         let attack = t.extract_attack();
         assert_eq!(attack.len(), 42_300);
-        assert!(t.packets.len() > attack.len(), "background must be mixed in");
+        assert!(
+            t.packets.len() > attack.len(),
+            "background must be mixed in"
+        );
     }
 
     #[test]
@@ -367,8 +374,7 @@ mod tests {
         let attack = t.extract_attack();
         assert!(attack.iter().all(|p| p.dst_ip == t.victim));
         // Multi-source: many distinct sources.
-        let srcs: std::collections::HashSet<Ipv4> =
-            attack.iter().map(|p| p.src_ip).collect();
+        let srcs: std::collections::HashSet<Ipv4> = attack.iter().map(|p| p.src_ip).collect();
         assert!(srcs.len() > 30, "only {} sources", srcs.len());
     }
 
@@ -393,8 +399,7 @@ mod tests {
         // expectation; collisions after masking are allowed but rare).
         let orig_srcs: std::collections::HashSet<Ipv4> =
             attack.iter().map(|p| p.src_ip.anonymize()).collect();
-        let new_srcs: std::collections::HashSet<Ipv4> =
-            remapped.iter().map(|p| p.src_ip).collect();
+        let new_srcs: std::collections::HashSet<Ipv4> = remapped.iter().map(|p| p.src_ip).collect();
         assert!(new_srcs.len() <= orig_srcs.len());
         assert!(new_srcs.len() >= orig_srcs.len() / 2);
     }
@@ -419,10 +424,7 @@ mod tests {
             assert_eq!(total, attack.len());
             let max = *sizes.iter().max().unwrap() as f64;
             let min = *sizes.iter().min().unwrap() as f64;
-            assert!(
-                max / min.max(1.0) < 1.6,
-                "k={k} unbalanced: {sizes:?}"
-            );
+            assert!(max / min.max(1.0) < 1.6, "k={k} unbalanced: {sizes:?}");
             // Sources must not straddle groups.
             let mut seen: HashMap<Ipv4, usize> = HashMap::new();
             for (g, group) in groups.iter().enumerate() {
@@ -487,9 +489,14 @@ mod tests {
     fn worm_fused_path_sweeps_destinations() {
         let topo = Topology::abilene();
         let plan = AddressPlan::standard(&topo);
-        let pkts = sampled_attack_packets(TraceKind::WormScan, &plan, OdPair::new(0, 5), 3000, 0, 13);
+        let pkts =
+            sampled_attack_packets(TraceKind::WormScan, &plan, OdPair::new(0, 5), 3000, 0, 13);
         let dsts: std::collections::HashSet<Ipv4> = pkts.iter().map(|p| p.dst_ip).collect();
-        assert!(dsts.len() > 1000, "worm must sweep addresses: {}", dsts.len());
+        assert!(
+            dsts.len() > 1000,
+            "worm must sweep addresses: {}",
+            dsts.len()
+        );
         assert!(pkts.iter().all(|p| p.dst_port == 1433));
     }
 }

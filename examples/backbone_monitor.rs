@@ -46,8 +46,10 @@ fn parse_args() -> Args {
             "--alpha" => args.alpha = grab().parse().expect("--alpha takes a float"),
             "--events" => args.events = grab().parse().expect("--events takes a count"),
             "--missing-chance" => {
-                args.missing_chance =
-                    grab().parse::<f64>().expect("--missing-chance takes a percent") / 100.0
+                args.missing_chance = grab()
+                    .parse::<f64>()
+                    .expect("--missing-chance takes a percent")
+                    / 100.0
             }
             other => panic!("unknown flag {other}"),
         }
@@ -92,8 +94,10 @@ fn main() {
     }
 
     println!("fitting and diagnosing at alpha = {} ...", args.alpha);
-    let mut cfg = DiagnoserConfig::default();
-    cfg.alpha = args.alpha;
+    let cfg = DiagnoserConfig {
+        alpha: args.alpha,
+        ..Default::default()
+    };
     let fitted = Diagnoser::new(cfg).fit(&dataset).expect("fit");
     let report = fitted.diagnose(&dataset).expect("diagnose");
 

@@ -14,8 +14,8 @@ use entromine::cluster::Linkage;
 use entromine::net::Topology;
 use entromine::synth::{AnomalyLabel, Dataset, DatasetConfig, Schedule, SyntheticNetwork};
 use entromine::{
-    anomaly_point_matrix, cluster_rows, match_truth, ClassifierConfig, ClusterAlgorithm,
-    Diagnoser, MatchOutcome,
+    anomaly_point_matrix, cluster_rows, match_truth, ClassifierConfig, ClusterAlgorithm, Diagnoser,
+    MatchOutcome,
 };
 
 fn main() {
@@ -23,7 +23,9 @@ fn main() {
     let mut k = 6usize;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let val = it.next().unwrap_or_else(|| panic!("missing value for {flag}"));
+        let val = it
+            .next()
+            .unwrap_or_else(|| panic!("missing value for {flag}"));
         match flag.as_str() {
             "--seed" => seed = val.parse().expect("u64"),
             "--k" => k = val.parse().expect("count"),
@@ -82,8 +84,8 @@ fn main() {
 
     println!("\n== Table 7-style cluster summary:");
     println!(
-        "{:>8} {:>6} {:>18} {:>10} {:>10}  {}",
-        "cluster", "size", "plurality label", "in plur.", "unknowns", "signature [srcIP srcPort dstIP dstPort]"
+        "{:>8} {:>6} {:>18} {:>10} {:>10}  signature [srcIP srcPort dstIP dstPort]",
+        "cluster", "size", "plurality label", "in plur.", "unknowns"
     );
     for row in cluster_rows(&points, &clustering, &labels, 3.0) {
         let (plabel, pcount) = row

@@ -9,8 +9,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use entromine::synth::{AnomalyEvent, AnomalyLabel, Dataset, DatasetConfig};
 use entromine::net::Topology;
+use entromine::synth::{AnomalyEvent, AnomalyLabel, Dataset, DatasetConfig};
 use entromine::{Diagnoser, DiagnoserConfig};
 
 fn main() {
@@ -60,7 +60,10 @@ fn main() {
         report.entropy_only(),
         report.both()
     );
-    println!("{:>5} {:>8} {:>12} {:>10} {:>28}", "bin", "methods", "entropy SPE", "flow", "residual entropy point");
+    println!(
+        "{:>5} {:>8} {:>12} {:>10} {:>28}",
+        "bin", "methods", "entropy SPE", "flow", "residual entropy point"
+    );
     for d in &report.diagnoses {
         let methods = format!(
             "{}{}{}",

@@ -11,10 +11,10 @@
 //! ```
 
 use entromine::net::{OdPair, Topology};
+use entromine::synth::distr::poisson;
 use entromine::synth::traces::{sampled_attack_packets, sampled_count};
 use entromine::synth::{Dataset, DatasetConfig, TraceKind};
 use entromine::Diagnoser;
-use entromine::synth::distr::poisson;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -23,7 +23,9 @@ fn main() {
     let mut flows_to_try = 30usize;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let val = it.next().unwrap_or_else(|| panic!("missing value for {flag}"));
+        let val = it
+            .next()
+            .unwrap_or_else(|| panic!("missing value for {flag}"));
         match flag.as_str() {
             "--seed" => seed = val.parse().expect("u64"),
             "--flows" => flows_to_try = val.parse().expect("count"),
@@ -87,8 +89,7 @@ fn main() {
             }
         }
         let tried = flows_to_try.min(dataset.n_flows());
-        let pct_of_flow =
-            100.0 * mean_inject / cfg.mean_sampled_packets_per_bin();
+        let pct_of_flow = 100.0 * mean_inject / cfg.mean_sampled_packets_per_bin();
         println!(
             "{:>9} {:>14.1} {:>11.2}% {:>15.0}% {:>17.0}%",
             thinning,

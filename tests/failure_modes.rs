@@ -90,8 +90,10 @@ fn single_flow_network_rejected() {
 
 #[test]
 fn refit_disabled_still_works() {
-    let mut cfg = entromine::DiagnoserConfig::default();
-    cfg.refit_rounds = 0;
+    let cfg = entromine::DiagnoserConfig {
+        refit_rounds: 0,
+        ..Default::default()
+    };
     let dataset = Dataset::clean(Topology::abilene(), config(6, 100));
     let fitted = Diagnoser::new(cfg).fit(&dataset).expect("fit");
     let report = fitted.diagnose(&dataset).expect("diagnose");
