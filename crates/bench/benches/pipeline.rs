@@ -1,0 +1,117 @@
+//! Benchmarks of the streaming-pipeline hot paths: the blocked covariance
+//! and Gram kernels, the symmetric eigensolver behind every fit, and the
+//! streaming ingest stage (packets in, finalized bins out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use entromine::entropy::stream::{StreamConfig, StreamingGridBuilder};
+use entromine::linalg::{sym_eigen, MomentAccumulator};
+use entromine::net::{Ipv4, PacketHeader};
+use entromine_bench::traffic_matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_covariance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("covariance");
+    for (t, n) in [(288usize, 121usize), (500, 484)] {
+        let x = traffic_matrix(t, n, 3);
+        group.bench_with_input(
+            BenchmarkId::new("adaptive", format!("{t}x{n}")),
+            &x,
+            |b, x| b.iter(|| black_box(x.covariance().unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("blocked", format!("{t}x{n}")),
+            &x,
+            |b, x| b.iter(|| black_box(x.covariance_blocked().unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("serial_baseline", format!("{t}x{n}")),
+            &x,
+            |b, x| b.iter(|| black_box(x.covariance_serial().unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gram(c: &mut Criterion) {
+    // The Gram path's habitat: wide matrices (one week of bins, 4p wide).
+    let x = traffic_matrix(300, 484, 5);
+    c.bench_function("gram/300x484", |b| b.iter(|| black_box(x.gram())));
+}
+
+fn bench_moments(c: &mut Criterion) {
+    let x = traffic_matrix(500, 121, 7);
+    c.bench_function("moments/push_500x121", |b| {
+        b.iter(|| {
+            let mut acc = MomentAccumulator::new(121);
+            for row in x.row_iter() {
+                acc.push(black_box(row)).unwrap();
+            }
+            black_box(acc.covariance().unwrap())
+        })
+    });
+}
+
+fn bench_sym_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sym_eigen");
+    for n in [121usize, 300] {
+        let cov = traffic_matrix(2 * n, n, 11).covariance().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cov, |b, cov| {
+            b.iter(|| black_box(sym_eigen(cov).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// One synthetic bin's worth of packets for `p` flows.
+fn bin_packets(p: usize, per_flow: usize, seed: u64) -> Vec<(usize, PacketHeader)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(p * per_flow);
+    for flow in 0..p {
+        for _ in 0..per_flow {
+            out.push((
+                flow,
+                PacketHeader::tcp(
+                    Ipv4(rng.random::<u32>() % 4096),
+                    rng.random_range(1024..=65535),
+                    Ipv4(rng.random::<u32>() % 256),
+                    *[80u16, 443, 53].get(rng.random_range(0..3)).unwrap(),
+                    576,
+                    0,
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn bench_streaming_ingest(c: &mut Criterion) {
+    // Throughput of the ingest stage: offer a full bin of packets for 121
+    // flows, advance the watermark, drain the finalized bin.
+    let p = 121;
+    let per_flow = 100;
+    let packets = bin_packets(p, per_flow, 13);
+    let mut group = c.benchmark_group("streaming_ingest");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("finalize_bin_121_flows_12k_pkts", |b| {
+        b.iter(|| {
+            let mut grid = StreamingGridBuilder::new(StreamConfig::new(p)).unwrap();
+            for (flow, pkt) in &packets {
+                grid.offer_packet(*flow, pkt).unwrap();
+            }
+            black_box(grid.advance_watermark(300))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_covariance,
+    bench_gram,
+    bench_moments,
+    bench_sym_eigen,
+    bench_streaming_ingest
+);
+criterion_main!(benches);

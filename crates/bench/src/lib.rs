@@ -7,8 +7,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use entromine::linalg::Mat;
 use entromine::net::Topology;
 use entromine::synth::{Dataset, DatasetConfig, Schedule, SyntheticNetwork};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic low-rank-diurnal-plus-noise traffic matrix — the shape
+/// the detectors actually see. Shared by the Criterion benches and the
+/// `bench_pipeline` snapshot runner so both measure the same inputs.
+pub fn traffic_matrix(t: usize, n: usize, seed: u64) -> Mat {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let gains: Vec<f64> = (0..n).map(|_| 1.0 + 4.0 * rng.random::<f64>()).collect();
+    Mat::from_fn(t, n, |i, j| {
+        let phase = i as f64 / 288.0 * std::f64::consts::TAU;
+        gains[j] * (5.0 + phase.sin()) + 0.3 * (rng.random::<f64>() - 0.5)
+    })
+}
 
 /// A small Abilene-shaped dataset fixture: 6 hours of bins at reduced
 /// traffic scale. Deterministic for a given seed.

@@ -10,6 +10,8 @@ pub enum DiagnosisError {
     Subspace(SubspaceError),
     /// The dataset is unusable for the requested operation.
     BadDataset(&'static str),
+    /// The diagnoser configuration is invalid (caught at fit time).
+    BadConfig(&'static str),
     /// Classification was asked for with invalid parameters.
     BadClassifier(&'static str),
 }
@@ -19,6 +21,7 @@ impl fmt::Display for DiagnosisError {
         match self {
             DiagnosisError::Subspace(e) => write!(f, "subspace method failed: {e}"),
             DiagnosisError::BadDataset(what) => write!(f, "bad dataset: {what}"),
+            DiagnosisError::BadConfig(what) => write!(f, "bad diagnoser config: {what}"),
             DiagnosisError::BadClassifier(what) => write!(f, "bad classifier config: {what}"),
         }
     }

@@ -66,6 +66,7 @@ mod classify;
 mod error;
 mod pipeline;
 mod report;
+mod stream;
 
 pub use classify::{anomaly_point_matrix, ClassifierConfig, ClusterAlgorithm};
 pub use error::DiagnosisError;
@@ -73,6 +74,7 @@ pub use pipeline::{
     DetectionMethods, Diagnoser, DiagnoserConfig, Diagnosis, DiagnosisReport, FittedDiagnoser,
 };
 pub use report::{cluster_rows, label_breakdown, match_truth, ClusterRow, LabelRow, MatchOutcome};
+pub use stream::StreamingDiagnoser;
 
 /// Re-export of the clustering layer.
 pub use entromine_cluster as cluster;

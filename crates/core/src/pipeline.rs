@@ -11,7 +11,8 @@
 //! the identified OD flows, and the anomaly's position in entropy space
 //! (the unit-norm residual 4-vector used for classification in §7).
 
-use crate::{unit_norm, DiagnosisError};
+use crate::stream::StreamingDiagnoser;
+use crate::DiagnosisError;
 use entromine_subspace::{DimSelection, FlowContribution, MultiwayModel, SubspaceModel};
 use entromine_synth::Dataset;
 
@@ -164,7 +165,19 @@ impl Diagnoser {
     ///
     /// The normal-subspace dimension is capped below each matrix's column
     /// count, so small test networks fit with the default config.
+    ///
+    /// Configuration is validated here, at fit time: `alpha` must be
+    /// finite and strictly inside `(0, 1)` (the subspace layer likewise
+    /// rejects a non-finite or out-of-range variance fraction), so a
+    /// misconfigured pipeline fails loudly before any model exists rather
+    /// than misbehaving bin by bin.
     pub fn fit(&self, dataset: &Dataset) -> Result<FittedDiagnoser, DiagnosisError> {
+        let alpha = self.config.alpha;
+        if !alpha.is_finite() || alpha <= 0.0 || alpha >= 1.0 {
+            return Err(DiagnosisError::BadConfig(
+                "alpha must be finite and lie strictly inside (0, 1)",
+            ));
+        }
         if dataset.n_bins() < 4 {
             return Err(DiagnosisError::BadDataset(
                 "need at least 4 bins to model variation",
@@ -263,6 +276,13 @@ impl FittedDiagnoser {
         &self.packets_model
     }
 
+    /// The online scoring head over these trained models, with thresholds
+    /// precomputed at confidence `alpha`: the entry point of the
+    /// streaming score phase.
+    pub fn streaming(&self, alpha: f64) -> Result<StreamingDiagnoser<'_>, DiagnosisError> {
+        StreamingDiagnoser::new(self, alpha)
+    }
+
     /// Scores every bin of `dataset` and assembles the report.
     pub fn diagnose(&self, dataset: &Dataset) -> Result<DiagnosisReport, DiagnosisError> {
         self.diagnose_at(dataset, self.config.alpha)
@@ -270,61 +290,31 @@ impl FittedDiagnoser {
 
     /// Like [`diagnose`](Self::diagnose) but at an explicit confidence
     /// level (the sensitivity experiments sweep alpha).
+    ///
+    /// Batch diagnosis **is** the streaming path replayed over stored
+    /// rows: every bin goes through the same
+    /// [`StreamingDiagnoser::score_rows`] call a live monitor uses, which
+    /// is what makes the batch/streaming equivalence hold by construction.
     pub fn diagnose_at(
         &self,
         dataset: &Dataset,
         alpha: f64,
     ) -> Result<DiagnosisReport, DiagnosisError> {
-        let t_bytes = self.bytes_model.threshold(alpha)?;
-        let t_packets = self.packets_model.threshold(alpha)?;
-        let t_entropy = self.entropy_model.threshold(alpha)?;
-
+        let mut scorer = self.streaming(alpha)?;
         let mut diagnoses = Vec::new();
         for bin in 0..dataset.n_bins() {
-            let bytes_spe = self.bytes_model.spe(dataset.volumes.bytes().row(bin))?;
-            let packets_spe = self.packets_model.spe(dataset.volumes.packets().row(bin))?;
-            let raw_row = dataset.tensor.unfolded_row(bin);
-            let entropy_spe = self.entropy_model.spe(&raw_row)?;
-
-            let methods = DetectionMethods {
-                bytes: bytes_spe > t_bytes,
-                packets: packets_spe > t_packets,
-                entropy: entropy_spe > t_entropy,
-            };
-            if !(methods.volume() || methods.entropy) {
-                continue;
-            }
-
-            // Identification runs on the entropy residual whenever it is
-            // above threshold; volume-only detections keep whatever single
-            // best flow explains the (sub-threshold) entropy residual, if
-            // any explains it at all.
-            let flows = if methods.entropy {
-                self.entropy_model
-                    .identify(&raw_row, alpha, self.config.max_ident_flows)?
-            } else {
-                Vec::new()
-            };
-            let point = match flows.first() {
-                Some(first) => {
-                    let v = self.entropy_model.anomaly_vector(&raw_row, first.flow)?;
-                    Some(unit_norm(v))
-                }
-                None => None,
-            };
-            diagnoses.push(Diagnosis {
+            if let Some(diagnosis) = scorer.score_rows(
                 bin,
-                methods,
-                entropy_spe,
-                bytes_spe,
-                packets_spe,
-                flows,
-                point,
-            });
+                dataset.volumes.bytes().row(bin),
+                dataset.volumes.packets().row(bin),
+                &dataset.tensor.unfolded_row(bin),
+            )? {
+                diagnoses.push(diagnosis);
+            }
         }
         Ok(DiagnosisReport {
             diagnoses,
-            thresholds: (t_bytes, t_packets, t_entropy),
+            thresholds: scorer.thresholds(),
         })
     }
 

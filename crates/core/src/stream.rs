@@ -1,0 +1,261 @@
+//! Online diagnosis over a stream of finalized bins.
+//!
+//! The batch pipeline is *train on a window, then replay*: [`Diagnoser`]
+//! fits the three subspace models over an archived dataset and
+//! [`FittedDiagnoser::diagnose`] walks the stored bins. A live deployment
+//! inverts the second half — bins arrive one at a time from the ingest
+//! stage ([`StreamingGridBuilder`]) and each must be judged the moment it
+//! finalizes.
+//!
+//! [`StreamingDiagnoser`] is that judge. It wraps already-trained models
+//! with their Q-statistic thresholds precomputed at a chosen confidence
+//! level; each [`score_bin`] call costs three `O(n·m)` projections (bytes,
+//! packets, entropy) plus identification for the rare bin that fires.
+//! There is no refitting and no other per-bin state, so the monitor's
+//! working set is the model, full stop.
+//!
+//! Crucially, the batch path is **reimplemented on top of this one**:
+//! `diagnose_at` constructs a `StreamingDiagnoser` and replays the stored
+//! bins through [`score_rows`]. One code path means batch and streaming
+//! cannot drift apart — the equivalence test in `tests/` holds by
+//! construction and guards the seam.
+//!
+//! [`Diagnoser`]: crate::Diagnoser
+//! [`FittedDiagnoser::diagnose`]: crate::FittedDiagnoser::diagnose
+//! [`StreamingGridBuilder`]: entromine_entropy::StreamingGridBuilder
+//! [`score_bin`]: StreamingDiagnoser::score_bin
+//! [`score_rows`]: StreamingDiagnoser::score_rows
+
+use crate::pipeline::{DetectionMethods, Diagnosis, FittedDiagnoser};
+use crate::{unit_norm, DiagnosisError};
+use entromine_entropy::FinalizedBin;
+
+/// Online scoring head over a [`FittedDiagnoser`]: trained models plus
+/// precomputed thresholds, consuming finalized bins and emitting
+/// [`Diagnosis`] values as they happen.
+#[derive(Debug, Clone)]
+pub struct StreamingDiagnoser<'a> {
+    fitted: &'a FittedDiagnoser,
+    alpha: f64,
+    t_bytes: f64,
+    t_packets: f64,
+    t_entropy: f64,
+    bins_scored: u64,
+    detections: u64,
+}
+
+impl<'a> StreamingDiagnoser<'a> {
+    pub(crate) fn new(fitted: &'a FittedDiagnoser, alpha: f64) -> Result<Self, DiagnosisError> {
+        Ok(StreamingDiagnoser {
+            fitted,
+            alpha,
+            t_bytes: fitted.bytes_model().threshold(alpha)?,
+            t_packets: fitted.packets_model().threshold(alpha)?,
+            t_entropy: fitted.entropy_model().threshold(alpha)?,
+            bins_scored: 0,
+            detections: 0,
+        })
+    }
+
+    /// The trained models being scored against.
+    pub fn fitted(&self) -> &FittedDiagnoser {
+        self.fitted
+    }
+
+    /// The confidence level the thresholds were computed at.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Precomputed Q-thresholds: `(bytes, packets, entropy)`.
+    pub fn thresholds(&self) -> (f64, f64, f64) {
+        (self.t_bytes, self.t_packets, self.t_entropy)
+    }
+
+    /// Bins scored so far.
+    pub fn bins_scored(&self) -> u64 {
+        self.bins_scored
+    }
+
+    /// Diagnoses emitted so far.
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    /// Scores one finalized bin from the streaming ingest stage.
+    pub fn score_bin(&mut self, bin: &FinalizedBin) -> Result<Option<Diagnosis>, DiagnosisError> {
+        self.score_rows(
+            bin.bin,
+            &bin.bytes_row(),
+            &bin.packets_row(),
+            &bin.unfolded_entropy_row(),
+        )
+    }
+
+    /// Scores one bin given its three measurement rows: byte counts and
+    /// packet counts per flow (length `p`) and the raw unfolded entropy
+    /// row (length `4p`).
+    ///
+    /// This is the single scoring code path of the whole pipeline — batch
+    /// diagnosis replays stored rows through it.
+    pub fn score_rows(
+        &mut self,
+        bin: usize,
+        bytes_row: &[f64],
+        packets_row: &[f64],
+        entropy_raw: &[f64],
+    ) -> Result<Option<Diagnosis>, DiagnosisError> {
+        self.bins_scored += 1;
+        let bytes_spe = self.fitted.bytes_model().spe(bytes_row)?;
+        let packets_spe = self.fitted.packets_model().spe(packets_row)?;
+        let entropy_spe = self.fitted.entropy_model().spe(entropy_raw)?;
+
+        let methods = DetectionMethods {
+            bytes: bytes_spe > self.t_bytes,
+            packets: packets_spe > self.t_packets,
+            entropy: entropy_spe > self.t_entropy,
+        };
+        if !(methods.volume() || methods.entropy) {
+            return Ok(None);
+        }
+
+        // Identification runs on the entropy residual whenever it is
+        // above threshold; volume-only detections carry no blamed flows.
+        let flows = if methods.entropy {
+            self.fitted.entropy_model().identify(
+                entropy_raw,
+                self.alpha,
+                self.fitted.config().max_ident_flows,
+            )?
+        } else {
+            Vec::new()
+        };
+        let point = match flows.first() {
+            Some(first) => {
+                let v = self
+                    .fitted
+                    .entropy_model()
+                    .anomaly_vector(entropy_raw, first.flow)?;
+                Some(unit_norm(v))
+            }
+            None => None,
+        };
+        self.detections += 1;
+        Ok(Some(Diagnosis {
+            bin,
+            methods,
+            entropy_spe,
+            bytes_spe,
+            packets_spe,
+            flows,
+            point,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Diagnoser;
+    use entromine_entropy::BinSummary;
+    use entromine_net::Topology;
+    use entromine_synth::{AnomalyEvent, AnomalyLabel, Dataset, DatasetConfig};
+
+    fn dataset_with_scan(seed: u64) -> Dataset {
+        let config = DatasetConfig {
+            seed,
+            n_bins: 80,
+            sample_rate: 100,
+            traffic_scale: 0.05,
+            rate_noise: 0.02,
+            anonymize: false,
+        };
+        let ev = AnomalyEvent {
+            label: AnomalyLabel::PortScan,
+            start_bin: 40,
+            duration: 1,
+            flows: vec![3],
+            packets_per_cell: 400.0,
+            seed: 7,
+        };
+        Dataset::generate(Topology::line(3), config, vec![ev])
+    }
+
+    #[test]
+    fn streaming_replay_equals_batch_diagnosis() {
+        let d = dataset_with_scan(1);
+        let fitted = Diagnoser::default().fit(&d).unwrap();
+        let batch = fitted.diagnose(&d).unwrap();
+
+        let mut streaming = fitted.streaming(fitted.config().alpha).unwrap();
+        let mut online = Vec::new();
+        for bin in 0..d.n_bins() {
+            let fb = FinalizedBin {
+                bin,
+                summaries: (0..d.n_flows())
+                    .map(|flow| BinSummary {
+                        packets: d.volumes.packets()[(bin, flow)] as u64,
+                        bytes: d.volumes.bytes()[(bin, flow)] as u64,
+                        entropy: [
+                            d.tensor.get(bin, flow, entromine_entropy::FEATURES[0]),
+                            d.tensor.get(bin, flow, entromine_entropy::FEATURES[1]),
+                            d.tensor.get(bin, flow, entromine_entropy::FEATURES[2]),
+                            d.tensor.get(bin, flow, entromine_entropy::FEATURES[3]),
+                        ],
+                    })
+                    .collect(),
+            };
+            if let Some(diag) = streaming.score_bin(&fb).unwrap() {
+                online.push(diag);
+            }
+        }
+        assert_eq!(batch.diagnoses.len(), online.len());
+        for (a, b) in batch.diagnoses.iter().zip(&online) {
+            assert_eq!(a.bin, b.bin);
+            assert_eq!(a.methods, b.methods);
+            assert_eq!(a.entropy_spe, b.entropy_spe);
+            assert_eq!(a.bytes_spe, b.bytes_spe);
+            assert_eq!(a.packets_spe, b.packets_spe);
+            assert_eq!(
+                a.flows.iter().map(|f| f.flow).collect::<Vec<_>>(),
+                b.flows.iter().map(|f| f.flow).collect::<Vec<_>>()
+            );
+            assert_eq!(a.point, b.point);
+        }
+        assert_eq!(streaming.bins_scored(), 80);
+        assert_eq!(streaming.detections(), online.len() as u64);
+        assert_eq!(batch.thresholds, streaming.thresholds());
+    }
+
+    #[test]
+    fn clean_bin_scores_to_none() {
+        let d = dataset_with_scan(2);
+        let fitted = Diagnoser::default().fit(&d).unwrap();
+        let mut streaming = fitted.streaming(0.999).unwrap();
+        // A bin identical to the training mean cannot be an anomaly.
+        let p = d.n_flows();
+        let mean_bytes: Vec<f64> = fitted.bytes_model().pca().mean().to_vec();
+        let mean_packets: Vec<f64> = fitted.packets_model().pca().mean().to_vec();
+        // Raw entropy row whose normalized form equals the entropy mean.
+        let mut raw_entropy = fitted.entropy_model().inner().pca().mean().to_vec();
+        let div = fitted.entropy_model().divisors();
+        for (k, &dv) in div.iter().enumerate() {
+            for v in &mut raw_entropy[k * p..(k + 1) * p] {
+                *v *= dv;
+            }
+        }
+        let out = streaming
+            .score_rows(0, &mean_bytes, &mean_packets, &raw_entropy)
+            .unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn bad_alpha_rejected_when_building_the_scorer() {
+        let d = dataset_with_scan(3);
+        let fitted = Diagnoser::default().fit(&d).unwrap();
+        for bad in [0.0, 1.0, -1.0, 2.0, f64::NAN] {
+            assert!(fitted.streaming(bad).is_err(), "alpha {bad} must fail");
+        }
+    }
+}

@@ -21,6 +21,10 @@
 //!   dstIP | dstPort order).
 //! * [`VolumeMatrix`] — the `t x p` byte and packet count matrices used by
 //!   the volume-based baseline detector of Lakhina et al. SIGCOMM 2004.
+//! * [`stream`] — the streaming ingest stage: a watermark-driven grid
+//!   builder that keeps accumulators only for open bins and emits
+//!   finalized per-bin rows as event time advances, so live feeds never
+//!   materialize the full grid.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +32,7 @@
 mod accum;
 mod hist;
 mod metrics;
+pub mod stream;
 mod tensor;
 
 pub use accum::{BinAccumulator, BinSummary};
@@ -35,6 +40,7 @@ pub use hist::FeatureHistogram;
 pub use metrics::{
     distinct_count, gini_coefficient, normalized_entropy, sample_entropy, simpson_index,
 };
+pub use stream::{FinalizedBin, StreamConfig, StreamError, StreamingGridBuilder};
 pub use tensor::{EntropyTensor, TensorBuilder, VolumeMatrix};
 
 // Re-export the feature vocabulary: the tensor's `k` axis is these four.

@@ -9,12 +9,20 @@
 //! thresholds.
 
 use crate::matrix::dot;
-use crate::{sym_eigen, LinalgError, Mat, SymEigen};
+use crate::{sym_eigen, LinalgError, Mat, MomentAccumulator, SymEigen};
 
 /// A fitted principal component analysis.
 ///
-/// Built by [`Pca::fit`]; columns of the input are centered to zero mean
+/// Built by [`Pca::fit`] (covariance eigenproblem), [`Pca::fit_gram`] (the
+/// equivalent `rows × rows` Gram eigenproblem, cheaper for wide matrices),
+/// or [`Pca::fit_from_moments`] (streaming, from an incremental
+/// [`MomentAccumulator`]); columns of the input are centered to zero mean
 /// before the covariance is formed (as in Lakhina et al., SIGCOMM 2004).
+///
+/// The covariance and moments paths carry one principal axis per variable;
+/// the Gram path carries only the axes the data can support (at most
+/// `rows`), which is all any projection with `m < rank` can use. The axis
+/// count is exposed as [`n_axes`](Self::n_axes).
 #[derive(Debug, Clone)]
 pub struct Pca {
     mean: Vec<f64>,
@@ -40,9 +48,123 @@ impl Pca {
         Ok(Pca { mean, eigen })
     }
 
+    /// Fits the same model as [`fit`](Self::fit) by solving the `t × t`
+    /// Gram eigenproblem instead of the `n × n` covariance one.
+    ///
+    /// For `X_c` the centered data, `X_c X_cᵀ u = μ u` implies
+    /// `cov · (X_cᵀ u) = (μ / (t-1)) · (X_cᵀ u)`: the Gram spectrum is the
+    /// covariance spectrum (scaled), and each covariance eigenvector is a
+    /// normalized back-projection of a Gram eigenvector. When `t ≪ n` —
+    /// e.g. one week of bins against the `4p ≈ 2000` unfolded entropy
+    /// columns of a large network — this turns an `O(n³)` eigensolve into
+    /// an `O(t³)` one. The Gram product itself runs on the same blocked
+    /// scoped-thread kernel as [`Mat::covariance`].
+    ///
+    /// Numerically the two paths agree to round-off (axes may flip sign);
+    /// they are cross-checked in proptests. The returned model carries
+    /// only the data's supportable axes (`n_axes() ≤ min(t, n)`) plus the
+    /// full zero-padded eigenvalue spectrum, so downstream threshold code
+    /// sees the exact covariance-path spectrum.
+    ///
+    /// The detection pipeline does **not** auto-dispatch here yet: this
+    /// refactor is bit-for-bit behavior-preserving, and the Gram path's
+    /// round-off-level differences could flip borderline detections.
+    /// Wiring `rows < cols` dispatch into `SubspaceModel::fit` is a
+    /// recorded ROADMAP follow-up.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`fit`](Self::fit).
+    pub fn fit_gram(x: &Mat) -> Result<Self, LinalgError> {
+        let (t, n) = x.shape();
+        if n == 0 {
+            return Err(LinalgError::Empty {
+                what: "PCA of a matrix with zero columns",
+            });
+        }
+        if t < 2 {
+            return Err(LinalgError::Empty {
+                what: "covariance needs at least 2 rows",
+            });
+        }
+        let mean = x.col_means();
+        let mut centered = x.clone();
+        centered.center_cols(&mean);
+        let gram = centered.gram();
+        let geig = sym_eigen(&gram)?;
+        let denom = (t - 1) as f64;
+
+        // Numerically-zero Gram eigenvalues cannot be back-projected (the
+        // division by √μ blows up); everything at or below round-off of
+        // the leading one is dropped from the axis set but kept — as an
+        // exact zero — in the spectrum.
+        let lead = geig.values.first().copied().unwrap_or(0.0).max(0.0);
+        let tol = lead * 1e-12;
+        let kept: Vec<usize> = (0..t).filter(|&j| geig.values[j] > tol).collect();
+
+        let mut values = vec![0.0; n];
+        for (slot, &j) in values.iter_mut().zip(&kept) {
+            *slot = geig.values[j] / denom;
+        }
+        let mut vectors = Mat::zeros(n, kept.len());
+        for (dst, &j) in kept.iter().enumerate() {
+            let u = geig.vectors.col(j);
+            // v = X_cᵀ u / √μ, accumulated row-major over the data.
+            let inv_norm = 1.0 / geig.values[j].sqrt();
+            let mut v = vec![0.0; n];
+            for (row, &ui) in centered.row_iter().zip(&u) {
+                if ui == 0.0 {
+                    continue;
+                }
+                for (slot, &xij) in v.iter_mut().zip(row) {
+                    *slot += ui * xij;
+                }
+            }
+            for (i, &vi) in v.iter().enumerate() {
+                vectors[(i, dst)] = vi * inv_norm;
+            }
+        }
+        Ok(Pca {
+            mean,
+            eigen: SymEigen { values, vectors },
+        })
+    }
+
+    /// Fits a PCA from streamed moments instead of a materialized matrix.
+    ///
+    /// This is the streaming half of the fit/score split: an ingest loop
+    /// pushes finalized rows into a [`MomentAccumulator`] as they arrive,
+    /// and the model is fitted from the running mean and covariance when
+    /// the training window closes — the `t × n` matrix never exists.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::Empty`] if the accumulator has dimension zero or has
+    /// absorbed fewer than two rows; otherwise propagates the eigensolver.
+    pub fn fit_from_moments(moments: &MomentAccumulator) -> Result<Self, LinalgError> {
+        if moments.dim() == 0 {
+            return Err(LinalgError::Empty {
+                what: "PCA of a matrix with zero columns",
+            });
+        }
+        let cov = moments.covariance()?;
+        let eigen = sym_eigen(&cov)?;
+        Ok(Pca {
+            mean: moments.mean().to_vec(),
+            eigen,
+        })
+    }
+
     /// Number of variables (columns of the fitted data).
     pub fn dim(&self) -> usize {
         self.mean.len()
+    }
+
+    /// Number of principal axes the model carries: `dim()` for the
+    /// covariance and moments paths, the data's numerical rank for the
+    /// Gram path. Projections require `m <= n_axes()`.
+    pub fn n_axes(&self) -> usize {
+        self.eigen.vectors.cols()
     }
 
     /// The per-column means removed before analysis.
@@ -81,32 +203,39 @@ impl Pca {
     pub fn project(&self, x: &[f64], m: usize) -> Result<Vec<f64>, LinalgError> {
         self.check(x, m)?;
         let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(v, mu)| v - mu).collect();
-        let mut scores = Vec::with_capacity(m);
-        for j in 0..m {
-            let col: Vec<f64> = (0..self.dim())
-                .map(|i| self.eigen.vectors[(i, j)])
-                .collect();
-            scores.push(dot(&centered, &col));
+        Ok(self.scores_of_centered(&centered, m))
+    }
+
+    /// Scores of an already-centered observation against the leading `m`
+    /// axes, accumulated row-major (the axis matrix stores variables as
+    /// rows, so all `m` scores advance together over one contiguous scan).
+    fn scores_of_centered(&self, centered: &[f64], m: usize) -> Vec<f64> {
+        let mut scores = vec![0.0; m];
+        for (i, &ci) in centered.iter().enumerate() {
+            if ci == 0.0 {
+                continue;
+            }
+            for (s, &vij) in scores.iter_mut().zip(&self.eigen.vectors.row(i)[..m]) {
+                *s += ci * vij;
+            }
         }
-        Ok(scores)
+        scores
     }
 
     /// Splits a centered observation into its modeled (normal-subspace) part.
     ///
     /// Returns `x_hat` such that `x - mean = x_hat + x_tilde` with `x_hat`
-    /// in the span of the leading `m` axes.
+    /// in the span of the leading `m` axes. The two passes (project, then
+    /// expand) each scan the axis matrix once row-major, so scoring one
+    /// observation is `O(n·m)` with contiguous access — the cost that
+    /// bounds the streaming score path.
     pub fn reconstruct(&self, x: &[f64], m: usize) -> Result<Vec<f64>, LinalgError> {
         self.check(x, m)?;
         let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(v, mu)| v - mu).collect();
+        let scores = self.scores_of_centered(&centered, m);
         let mut hat = vec![0.0; self.dim()];
-        for j in 0..m {
-            let col: Vec<f64> = (0..self.dim())
-                .map(|i| self.eigen.vectors[(i, j)])
-                .collect();
-            let score = dot(&centered, &col);
-            for (h, &c) in hat.iter_mut().zip(&col) {
-                *h += score * c;
-            }
+        for (i, h) in hat.iter_mut().enumerate() {
+            *h = dot(&scores, &self.eigen.vectors.row(i)[..m]);
         }
         Ok(hat)
     }
@@ -137,9 +266,9 @@ impl Pca {
                 rhs: (1, self.dim()),
             });
         }
-        if m > self.dim() {
+        if m > self.n_axes() {
             return Err(LinalgError::Domain {
-                what: "requested more components than variables",
+                what: "requested more components than available axes",
             });
         }
         Ok(())
@@ -244,6 +373,70 @@ mod tests {
         for i in 0..3 {
             assert!((manual[i] - hat[i]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn gram_path_matches_covariance_path() {
+        // Wide matrix (rows < cols): the Gram path's natural habitat.
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Mat::from_fn(40, 90, |i, j| {
+            let t = i as f64 / 40.0;
+            (j % 5) as f64 * t + 0.1 * (rng.random::<f64>() - 0.5)
+        });
+        let cov_path = Pca::fit(&x).unwrap();
+        let gram_path = Pca::fit_gram(&x).unwrap();
+        assert_eq!(gram_path.dim(), 90);
+        assert!(gram_path.n_axes() <= 40);
+        // Spectra agree (Gram pads the rank-deficient tail with zeros).
+        for (a, b) in gram_path
+            .eigenvalues()
+            .iter()
+            .zip(cov_path.eigenvalues())
+            .take(gram_path.n_axes())
+        {
+            assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        assert_eq!(gram_path.eigenvalues().len(), 90);
+        // The models score observations identically.
+        for m in [1usize, 3, 8] {
+            for probe in [x.row(0), x.row(17), x.row(39)] {
+                let a = cov_path.spe(probe, m).unwrap();
+                let b = gram_path.spe(probe, m).unwrap();
+                assert!((a - b).abs() < 1e-8 * (1.0 + a), "spe {a} vs {b} at m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn moments_path_matches_batch_fit() {
+        let x = line_data(150, 0.2, 9);
+        let batch = Pca::fit(&x).unwrap();
+        let streamed = Pca::fit_from_moments(&crate::MomentAccumulator::from_rows(&x)).unwrap();
+        for (a, b) in streamed.mean().iter().zip(batch.mean()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        for (a, b) in streamed.eigenvalues().iter().zip(batch.eigenvalues()) {
+            assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()));
+        }
+        let probe = x.row(75);
+        for m in [0usize, 1, 2] {
+            let a = batch.spe(probe, m).unwrap();
+            let b = streamed.spe(probe, m).unwrap();
+            assert!((a - b).abs() < 1e-8 * (1.0 + a));
+        }
+    }
+
+    #[test]
+    fn gram_path_rejects_degenerate_input() {
+        assert!(Pca::fit_gram(&Mat::zeros(1, 3)).is_err());
+        assert!(Pca::fit_gram(&Mat::zeros(5, 0)).is_err());
+        // All-constant data: rank zero, no axes, but a valid model whose
+        // every projection is the mean.
+        let x = Mat::from_fn(10, 4, |_, _| 2.5);
+        let pca = Pca::fit_gram(&x).unwrap();
+        assert_eq!(pca.n_axes(), 0);
+        assert!(pca.spe(x.row(0), 0).unwrap() < 1e-18);
+        assert!(pca.project(x.row(0), 1).is_err(), "no axes to project on");
     }
 
     #[test]

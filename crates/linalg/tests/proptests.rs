@@ -5,7 +5,7 @@
 //! eigen reconstruction, orthonormality, PCA residual orthogonality, and
 //! monotonicity/symmetry of the normal quantile.
 
-use entromine_linalg::{stats, sym_eigen, Mat, Pca};
+use entromine_linalg::{stats, sym_eigen, Mat, MomentAccumulator, Pca};
 use proptest::prelude::*;
 
 /// Strategy: a rows x cols matrix with entries in [-10, 10].
@@ -132,5 +132,56 @@ proptest! {
         let a = stats::inv_norm_cdf(p);
         let b = stats::inv_norm_cdf(1.0 - p);
         prop_assert!((a + b).abs() < 1e-8);
+    }
+
+    #[test]
+    fn blocked_covariance_equals_serial(m in mat_strategy(70, 9)) {
+        // The blocked scoped-thread kernel must agree with the serial
+        // reference *bitwise*, not just to tolerance.
+        let blocked = m.covariance_blocked().unwrap();
+        let serial = m.covariance_serial().unwrap();
+        let adaptive = m.covariance().unwrap();
+        prop_assert_eq!(blocked.as_slice(), serial.as_slice());
+        prop_assert_eq!(adaptive.as_slice(), serial.as_slice());
+    }
+
+    #[test]
+    fn streamed_moments_match_batch_covariance(m in mat_strategy(40, 6)) {
+        let acc = MomentAccumulator::from_rows(&m);
+        let streamed = acc.covariance().unwrap();
+        let batch = m.covariance().unwrap();
+        // Welford vs. two-pass differ only by round-off.
+        prop_assert!(streamed.max_abs_diff(&batch).unwrap() < 1e-8);
+        for (a, b) in acc.mean().iter().zip(m.col_means()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn moment_merge_is_order_insensitive(m in mat_strategy(30, 5), split in 1usize..29) {
+        let mut left = MomentAccumulator::new(5);
+        let mut right = MomentAccumulator::new(5);
+        for (i, row) in m.row_iter().enumerate() {
+            if i < split { left.push(row).unwrap() } else { right.push(row).unwrap() }
+        }
+        left.merge(&right).unwrap();
+        let joint = MomentAccumulator::from_rows(&m);
+        prop_assert!(
+            left.covariance().unwrap().max_abs_diff(&joint.covariance().unwrap()).unwrap() < 1e-8
+        );
+    }
+
+    #[test]
+    fn gram_fit_scores_like_covariance_fit(m in mat_strategy(12, 20), k in 0usize..6) {
+        // Wide matrix: Gram path carries at most 12 axes; both models must
+        // assign every row the same residual magnitude.
+        let cov_path = Pca::fit(&m).unwrap();
+        let gram_path = Pca::fit_gram(&m).unwrap();
+        prop_assume!(k <= gram_path.n_axes());
+        for row in m.row_iter() {
+            let a = cov_path.spe(row, k).unwrap();
+            let b = gram_path.spe(row, k).unwrap();
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "spe {} vs {}", a, b);
+        }
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::qstat::q_statistic_threshold;
 use crate::SubspaceError;
-use entromine_linalg::{Mat, Pca};
+use entromine_linalg::{Mat, MomentAccumulator, Pca};
 
 /// How the dimension of the normal subspace is chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,22 +51,51 @@ impl SubspaceModel {
     ///
     /// # Errors
     ///
-    /// Fails on degenerate input (fewer than two rows, zero columns) or if
-    /// the requested dimension does not leave a non-empty residual space.
+    /// Fails on degenerate input (fewer than two rows, zero columns), on a
+    /// non-finite or out-of-`(0, 1)` variance fraction, or if the
+    /// requested dimension does not leave a non-empty residual space.
     pub fn fit(x: &Mat, dim: DimSelection) -> Result<Self, SubspaceError> {
         if x.rows() < 2 {
             return Err(SubspaceError::BadInput(
                 "need at least two timepoints to model variation",
             ));
         }
-        let pca = Pca::fit(x)?;
-        let n = x.cols();
+        Self::from_pca(Pca::fit(x)?, dim)
+    }
+
+    /// Fits the model from streamed moments instead of a materialized
+    /// matrix — the fit phase of the streaming pipeline. Rows are absorbed
+    /// into a [`MomentAccumulator`] as bins finalize; when the training
+    /// window closes this turns the running mean/covariance into the same
+    /// model `fit` would have produced (up to round-off in the streamed
+    /// covariance).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`fit`](Self::fit); fewer than two absorbed rows
+    /// is `BadInput`.
+    pub fn fit_from_moments(
+        moments: &MomentAccumulator,
+        dim: DimSelection,
+    ) -> Result<Self, SubspaceError> {
+        if moments.count() < 2 {
+            return Err(SubspaceError::BadInput(
+                "need at least two timepoints to model variation",
+            ));
+        }
+        Self::from_pca(Pca::fit_from_moments(moments)?, dim)
+    }
+
+    /// Shared back half of every fit path: dimension selection and
+    /// residual-space validation over an already-fitted PCA.
+    fn from_pca(pca: Pca, dim: DimSelection) -> Result<Self, SubspaceError> {
+        let n = pca.dim();
         let m = match dim {
             DimSelection::Fixed(m) => m,
             DimSelection::VarianceFraction(f) => {
-                if !(0.0..=1.0).contains(&f) {
+                if !f.is_finite() || f <= 0.0 || f >= 1.0 {
                     return Err(SubspaceError::BadInput(
-                        "variance fraction must lie in [0, 1]",
+                        "variance fraction must be finite and lie strictly inside (0, 1)",
                     ));
                 }
                 pca.dims_for_variance(f)
@@ -145,19 +174,47 @@ impl SubspaceModel {
         entromine_linalg::stats::chi2_quantile(self.m, alpha)
     }
 
+    /// Scores one observation row against a precomputed threshold: the
+    /// **score half** of the fit/score split. Returns the [`Detection`]
+    /// if the row's SPE exceeds `threshold`, tagged with `bin`.
+    ///
+    /// Cost is one projection plus the residual norm — `O(n·m)` with
+    /// contiguous access — so a live monitor can afford it on every
+    /// arriving bin without ever refitting. Batch detection
+    /// ([`detect`](Self::detect)) replays rows through this same method,
+    /// which is what guarantees batch and streaming agree exactly.
+    pub fn score_row(
+        &self,
+        bin: usize,
+        row: &[f64],
+        threshold: f64,
+    ) -> Result<Option<Detection>, SubspaceError> {
+        let spe = self.spe(row)?;
+        Ok((spe > threshold).then_some(Detection {
+            bin,
+            spe,
+            threshold,
+        }))
+    }
+
+    /// A scoring head with the Q-threshold for `alpha` precomputed: the
+    /// artifact the fit phase hands to the streaming score path.
+    pub fn scorer(&self, alpha: f64) -> Result<RowScorer<'_>, SubspaceError> {
+        Ok(RowScorer {
+            model: self,
+            threshold: self.threshold(alpha)?,
+        })
+    }
+
     /// Evaluates every row of `x` and returns the bins whose SPE exceeds
-    /// `δ²_α`, in time order.
+    /// `δ²_α`, in time order — a replay of [`score_row`](Self::score_row)
+    /// over the rows.
     pub fn detect(&self, x: &Mat, alpha: f64) -> Result<Vec<Detection>, SubspaceError> {
-        let threshold = self.threshold(alpha)?;
+        let scorer = self.scorer(alpha)?;
         let mut out = Vec::new();
         for (bin, row) in x.row_iter().enumerate() {
-            let spe = self.spe(row)?;
-            if spe > threshold {
-                out.push(Detection {
-                    bin,
-                    spe,
-                    threshold,
-                });
+            if let Some(d) = scorer.score(bin, row)? {
+                out.push(d);
             }
         }
         Ok(out)
@@ -167,6 +224,35 @@ impl SubspaceModel {
     /// like the paper's Figure 4).
     pub fn spe_series(&self, x: &Mat) -> Result<Vec<f64>, SubspaceError> {
         x.row_iter().map(|row| self.spe(row)).collect()
+    }
+}
+
+/// The score half of a fitted [`SubspaceModel`]: a borrow of the model
+/// plus its precomputed Q-statistic threshold.
+///
+/// Constructed once per confidence level by [`SubspaceModel::scorer`];
+/// thereafter each arriving observation costs one `O(n·m)` projection and
+/// a comparison — no eigenwork, no threshold recomputation, no refit.
+#[derive(Debug, Clone, Copy)]
+pub struct RowScorer<'a> {
+    model: &'a SubspaceModel,
+    threshold: f64,
+}
+
+impl RowScorer<'_> {
+    /// The precomputed threshold `δ²_α`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The model being scored against.
+    pub fn model(&self) -> &SubspaceModel {
+        self.model
+    }
+
+    /// Scores one observation row, tagging any detection with `bin`.
+    pub fn score(&self, bin: usize, row: &[f64]) -> Result<Option<Detection>, SubspaceError> {
+        self.model.score_row(bin, row, self.threshold)
     }
 }
 
@@ -256,6 +342,61 @@ mod tests {
         let spe = model.spe(row).unwrap();
         let norm2: f64 = r.iter().map(|v| v * v).sum();
         assert!((norm2 - spe).abs() < 1e-10);
+    }
+
+    #[test]
+    fn score_row_matches_detect() {
+        let mut x = synthetic_traffic(300, 12, 0.4, 8);
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(3)).unwrap();
+        x[(200, 5)] += 35.0;
+        let alpha = 0.999;
+        let batch = model.detect(&x, alpha).unwrap();
+        let scorer = model.scorer(alpha).unwrap();
+        let streamed: Vec<Detection> = x
+            .row_iter()
+            .enumerate()
+            .filter_map(|(bin, row)| scorer.score(bin, row).unwrap())
+            .collect();
+        assert_eq!(batch, streamed, "replaying score_row must equal detect");
+        assert!(streamed.iter().any(|d| d.bin == 200));
+        assert_eq!(scorer.threshold(), model.threshold(alpha).unwrap());
+    }
+
+    #[test]
+    fn moments_fit_matches_batch_fit() {
+        let x = synthetic_traffic(400, 10, 0.3, 9);
+        let batch = SubspaceModel::fit(&x, DimSelection::Fixed(3)).unwrap();
+        let mut acc = entromine_linalg::MomentAccumulator::new(10);
+        for row in x.row_iter() {
+            acc.push(row).unwrap();
+        }
+        let streamed = SubspaceModel::fit_from_moments(&acc, DimSelection::Fixed(3)).unwrap();
+        assert_eq!(streamed.normal_dim(), 3);
+        // Same spectrum, same thresholds, same residual magnitudes — to
+        // round-off (the streamed covariance is Welford, not two-pass).
+        let ta = batch.threshold(0.999).unwrap();
+        let tb = streamed.threshold(0.999).unwrap();
+        assert!((ta - tb).abs() < 1e-6 * (1.0 + ta), "{ta} vs {tb}");
+        for bin in [0usize, 123, 399] {
+            let a = batch.spe(x.row(bin)).unwrap();
+            let b = streamed.spe(x.row(bin)).unwrap();
+            assert!((a - b).abs() < 1e-6 * (1.0 + a), "{a} vs {b}");
+        }
+        // Too few rows is rejected like a too-short matrix.
+        let short = entromine_linalg::MomentAccumulator::new(10);
+        assert!(SubspaceModel::fit_from_moments(&short, DimSelection::Fixed(2)).is_err());
+    }
+
+    #[test]
+    fn variance_fraction_validated_at_fit_time() {
+        let x = synthetic_traffic(100, 6, 0.2, 10);
+        for bad in [0.0, 1.0, -0.3, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                SubspaceModel::fit(&x, DimSelection::VarianceFraction(bad)).is_err(),
+                "variance fraction {bad} must be rejected"
+            );
+        }
+        assert!(SubspaceModel::fit(&x, DimSelection::VarianceFraction(0.5)).is_ok());
     }
 
     #[test]

@@ -20,9 +20,18 @@
 //!   explains the residual displacement, recursing until the state drops
 //!   below the detection threshold.
 //!
-//! The detector is deliberately split from modeling: fit once on a traffic
-//! matrix, then evaluate SPE for existing rows, injected rows, or streaming
-//! rows at multiple `alpha` levels without refitting.
+//! The detector is deliberately split into a **fit phase** and a **score
+//! phase**:
+//!
+//! * Fit once — from a materialized matrix ([`SubspaceModel::fit`],
+//!   [`MultiwayModel::fit`]) or from a row stream without ever holding the
+//!   matrix ([`SubspaceModel::fit_from_moments`], [`MultiwayFitter`]).
+//! * Score cheaply — [`SubspaceModel::score_row`] /
+//!   [`MultiwayModel::score_row`] evaluate one observation against a
+//!   precomputed Q-threshold in `O(n·m)`, and the [`RowScorer`] /
+//!   [`MultiwayScorer`] heads package a model borrow with that threshold.
+//!   Batch detection replays the same score path over stored rows, so the
+//!   two modes cannot disagree.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,8 +42,8 @@ mod ident;
 mod multiway;
 mod qstat;
 
-pub use detector::{Detection, DimSelection, SubspaceModel};
+pub use detector::{Detection, DimSelection, RowScorer, SubspaceModel};
 pub use error::SubspaceError;
 pub use ident::FlowContribution;
-pub use multiway::MultiwayModel;
+pub use multiway::{MultiwayFitter, MultiwayModel, MultiwayScorer};
 pub use qstat::q_statistic_threshold;

@@ -10,7 +10,7 @@ use crate::detector::{Detection, DimSelection, SubspaceModel};
 use crate::ident::{identify_greedy, FlowContribution};
 use crate::SubspaceError;
 use entromine_entropy::EntropyTensor;
-use entromine_linalg::Mat;
+use entromine_linalg::{Mat, MomentAccumulator};
 
 /// A fitted multiway subspace model over an entropy tensor.
 #[derive(Debug, Clone)]
@@ -143,22 +143,44 @@ impl MultiwayModel {
         self.model.t2(&normalized)
     }
 
-    /// Detects anomalous bins across the whole tensor.
+    /// Scores one raw (un-normalized) unfolded row against a precomputed
+    /// threshold — the multiway score path. Normalization uses the
+    /// divisors stored at fit time, so a bin arriving months after
+    /// training is scored in the same units the model was fitted in.
+    pub fn score_row(
+        &self,
+        bin: usize,
+        raw: &[f64],
+        threshold: f64,
+    ) -> Result<Option<Detection>, SubspaceError> {
+        let spe = self.spe(raw)?;
+        Ok((spe > threshold).then_some(Detection {
+            bin,
+            spe,
+            threshold,
+        }))
+    }
+
+    /// A scoring head with the Q-threshold for `alpha` precomputed.
+    pub fn scorer(&self, alpha: f64) -> Result<MultiwayScorer<'_>, SubspaceError> {
+        Ok(MultiwayScorer {
+            model: self,
+            threshold: self.threshold(alpha)?,
+        })
+    }
+
+    /// Detects anomalous bins across the whole tensor — a replay of
+    /// [`score_row`](Self::score_row) over every bin.
     pub fn detect(
         &self,
         tensor: &EntropyTensor,
         alpha: f64,
     ) -> Result<Vec<Detection>, SubspaceError> {
-        let threshold = self.threshold(alpha)?;
+        let scorer = self.scorer(alpha)?;
         let mut out = Vec::new();
         for bin in 0..tensor.n_bins() {
-            let spe = self.spe(&tensor.unfolded_row(bin))?;
-            if spe > threshold {
-                out.push(Detection {
-                    bin,
-                    spe,
-                    threshold,
-                });
+            if let Some(d) = scorer.score(bin, &tensor.unfolded_row(bin))? {
+                out.push(d);
             }
         }
         Ok(out)
@@ -213,6 +235,124 @@ impl MultiwayModel {
 /// Borrow the principal-axis matrix of the fitted model.
 fn components(model: &SubspaceModel) -> &Mat {
     model.pca().components()
+}
+
+/// The score half of a fitted [`MultiwayModel`]: a borrow of the model
+/// plus its precomputed Q-statistic threshold, for scoring raw unfolded
+/// rows as they finalize.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiwayScorer<'a> {
+    model: &'a MultiwayModel,
+    threshold: f64,
+}
+
+impl MultiwayScorer<'_> {
+    /// The precomputed threshold `δ²_α`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The model being scored against.
+    pub fn model(&self) -> &MultiwayModel {
+        self.model
+    }
+
+    /// Scores one raw unfolded row, tagging any detection with `bin`.
+    pub fn score(&self, bin: usize, raw: &[f64]) -> Result<Option<Detection>, SubspaceError> {
+        self.model.score_row(bin, raw, self.threshold)
+    }
+}
+
+/// Streaming fit phase for the multiway model: raw unfolded rows are
+/// absorbed one at a time and the `t × 4p` training matrix never exists.
+///
+/// The batch fit normalizes each feature submatrix to unit energy before
+/// forming the covariance; a stream cannot do that up front because the
+/// divisors are only known once the window closes. The trick is that
+/// unit-energy normalization is a per-column *scaling*, and scaling
+/// commutes with moment accumulation: raw moments plus per-feature energy
+/// sums are accumulated online, and [`finish`](Self::finish) rescales the
+/// moments by the final divisors before the eigensolve. The resulting
+/// model matches [`MultiwayModel::fit`] to round-off.
+#[derive(Debug, Clone)]
+pub struct MultiwayFitter {
+    moments: MomentAccumulator,
+    /// Running per-feature energies `Σ_rows Σ_block v²`.
+    energies: [f64; 4],
+    n_flows: usize,
+    dim: DimSelection,
+}
+
+impl MultiwayFitter {
+    /// A fitter for `n_flows` OD flows with the given dimension selection.
+    ///
+    /// # Errors
+    ///
+    /// `BadInput` if `n_flows` is zero.
+    pub fn new(n_flows: usize, dim: DimSelection) -> Result<Self, SubspaceError> {
+        if n_flows == 0 {
+            return Err(SubspaceError::BadInput("tensor has no OD flows"));
+        }
+        Ok(MultiwayFitter {
+            moments: MomentAccumulator::new(4 * n_flows),
+            energies: [0.0; 4],
+            n_flows,
+            dim,
+        })
+    }
+
+    /// Number of rows absorbed so far.
+    pub fn count(&self) -> usize {
+        self.moments.count()
+    }
+
+    /// Absorbs one raw (un-normalized) unfolded row of length `4p`.
+    pub fn push_row(&mut self, raw: &[f64]) -> Result<(), SubspaceError> {
+        let p = self.n_flows;
+        if raw.len() != 4 * p {
+            return Err(SubspaceError::BadInput(
+                "row length must be 4p (one value per feature per flow)",
+            ));
+        }
+        for (k, e) in self.energies.iter_mut().enumerate() {
+            *e += raw[k * p..(k + 1) * p].iter().map(|v| v * v).sum::<f64>();
+        }
+        self.moments.push(raw).map_err(SubspaceError::from)
+    }
+
+    /// Closes the training window: computes the unit-energy divisors,
+    /// rescales the streamed moments, and fits the subspace model.
+    ///
+    /// # Errors
+    ///
+    /// `BadInput` with fewer than two absorbed rows; otherwise the same
+    /// conditions as [`MultiwayModel::fit`].
+    pub fn finish(mut self) -> Result<MultiwayModel, SubspaceError> {
+        if self.moments.count() < 2 {
+            return Err(SubspaceError::BadInput(
+                "need at least two timepoints to model variation",
+            ));
+        }
+        let p = self.n_flows;
+        let mut divisors = [1.0f64; 4];
+        for (d, &energy) in divisors.iter_mut().zip(&self.energies) {
+            // Zero-energy features are left unscaled, as in the batch fit.
+            *d = if energy > 0.0 { energy.sqrt() } else { 1.0 };
+        }
+        let mut scales = vec![0.0; 4 * p];
+        for (k, &d) in divisors.iter().enumerate() {
+            for s in &mut scales[k * p..(k + 1) * p] {
+                *s = 1.0 / d;
+            }
+        }
+        self.moments.scale_cols(&scales)?;
+        let model = SubspaceModel::fit_from_moments(&self.moments, self.dim)?;
+        Ok(MultiwayModel {
+            model,
+            divisors,
+            n_flows: p,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +493,53 @@ mod tests {
             .map(|d| d.bin)
             .collect();
         assert_eq!(manual, det);
+    }
+
+    #[test]
+    fn scorer_replay_equals_detect() {
+        let tensor = build_tensor(250, 6, 0.25, 8, Some((100, 2)));
+        let model = MultiwayModel::fit(&tensor, DimSelection::Fixed(1)).unwrap();
+        let alpha = 0.999;
+        let batch = model.detect(&tensor, alpha).unwrap();
+        let scorer = model.scorer(alpha).unwrap();
+        let streamed: Vec<Detection> = (0..tensor.n_bins())
+            .filter_map(|bin| scorer.score(bin, &tensor.unfolded_row(bin)).unwrap())
+            .collect();
+        assert_eq!(batch, streamed);
+        assert!(streamed.iter().any(|d| d.bin == 100));
+    }
+
+    #[test]
+    fn streaming_fit_matches_batch_fit() {
+        let tensor = build_tensor(200, 5, 0.2, 9, None);
+        let batch = MultiwayModel::fit(&tensor, DimSelection::Fixed(2)).unwrap();
+        let mut fitter = MultiwayFitter::new(5, DimSelection::Fixed(2)).unwrap();
+        for bin in 0..tensor.n_bins() {
+            fitter.push_row(&tensor.unfolded_row(bin)).unwrap();
+        }
+        assert_eq!(fitter.count(), 200);
+        let streamed = fitter.finish().unwrap();
+        // Identical divisors (bit-for-bit: same sums in the same order).
+        assert_eq!(streamed.divisors(), batch.divisors());
+        // Thresholds and residuals agree to streamed-covariance round-off.
+        let ta = batch.threshold(0.999).unwrap();
+        let tb = streamed.threshold(0.999).unwrap();
+        assert!((ta - tb).abs() < 1e-6 * (1.0 + ta), "{ta} vs {tb}");
+        for bin in [0usize, 77, 199] {
+            let row = tensor.unfolded_row(bin);
+            let a = batch.spe(&row).unwrap();
+            let b = streamed.spe(&row).unwrap();
+            assert!((a - b).abs() < 1e-6 * (1.0 + a), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fitter_validates_inputs() {
+        assert!(MultiwayFitter::new(0, DimSelection::Fixed(1)).is_err());
+        let mut fitter = MultiwayFitter::new(3, DimSelection::Fixed(1)).unwrap();
+        assert!(fitter.push_row(&[0.0; 7]).is_err());
+        fitter.push_row(&[1.0; 12]).unwrap();
+        assert!(fitter.finish().is_err(), "one row cannot be fitted");
     }
 
     #[test]

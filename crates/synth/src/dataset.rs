@@ -6,7 +6,7 @@
 //! generation pipeline per (bin, OD flow) cell is the paper's measurement
 //! pipeline in miniature:
 //!
-//! 1. the [`RateModel`](crate::eigenflow::RateModel) gives the cell's
+//! 1. the [`RateModel`] gives the cell's
 //!    sampled-packet rate (low-rank diurnal structure + noise);
 //! 2. a Poisson draw fixes the packet count; outage events scale it down;
 //! 3. baseline packets are drawn from the OD flow's service mixture;
@@ -193,11 +193,48 @@ impl SyntheticNetwork {
     /// Deterministically regenerates the **baseline** accumulator of one
     /// cell (no anomaly events applied).
     pub fn baseline_cell(&self, bin: usize, flow: usize) -> BinAccumulator {
-        self.cell_with_rate_factor(bin, flow, 1.0)
+        let mut acc = BinAccumulator::new();
+        self.visit_cell_packets(bin, flow, &[], |pkt| acc.add_packet(&pkt));
+        acc
     }
 
-    /// Baseline cell with a rate multiplier (outage events use < 1).
-    fn cell_with_rate_factor(&self, bin: usize, flow: usize, factor: f64) -> BinAccumulator {
+    /// Deterministically regenerates every sampled packet of one cell —
+    /// baseline traffic (scaled down by covering outage events) plus the
+    /// packets of every covering injected anomaly, in generation order.
+    ///
+    /// This is the replay source for the streaming ingest stage: the same
+    /// seeded draws produce the same packets the batch generator folded
+    /// into its accumulators, so offering these packets to a
+    /// `StreamingGridBuilder` reconstructs the batch grid cell exactly.
+    pub fn cell_packets(
+        &self,
+        bin: usize,
+        flow: usize,
+        events: &[InjectedAnomaly],
+    ) -> Vec<PacketHeader> {
+        let mut out = Vec::new();
+        self.visit_cell_packets(bin, flow, events, |pkt| out.push(pkt));
+        out
+    }
+
+    /// Generates one cell's packets, feeding each to `sink`. Baseline and
+    /// anomaly draws use the same per-cell seeded streams regardless of
+    /// whether the caller accumulates or collects, which is what keeps
+    /// batch generation and streaming replay bit-identical.
+    fn visit_cell_packets(
+        &self,
+        bin: usize,
+        flow: usize,
+        events: &[InjectedAnomaly],
+        mut sink: impl FnMut(PacketHeader),
+    ) {
+        // Outages multiply the baseline rate down.
+        let mut factor = 1.0;
+        for ev in events {
+            if ev.event.label == AnomalyLabel::Outage && ev.covers(bin, flow) {
+                factor *= OUTAGE_RATE_FACTOR;
+            }
+        }
         // SmallRng (xoshiro) keeps the per-packet draw loop cheap; streams
         // are still fully determined by the cell seed.
         let mut rng = SmallRng::seed_from_u64(cell_seed(self.config.seed, bin, flow));
@@ -206,7 +243,6 @@ impl SyntheticNetwork {
         let od = self.indexer.pair(flow);
         let timestamp = bin as u64 * DatasetConfig::BIN_SECS;
         let day_weight = self.rates.day_weight(bin);
-        let mut acc = BinAccumulator::new();
         for _ in 0..n {
             let mut pkt = baseline_packet(
                 &self.plan,
@@ -222,23 +258,9 @@ impl SyntheticNetwork {
             if self.config.anonymize {
                 pkt = pkt.anonymized();
             }
-            acc.add_packet(&pkt);
+            sink(pkt);
         }
-        acc
-    }
-
-    /// Summarizes a cell with optional anomaly events applied.
-    fn cell_summary(&self, bin: usize, flow: usize, events: &[InjectedAnomaly]) -> BinSummary {
-        // Outages multiply the baseline rate down.
-        let mut factor = 1.0;
-        for ev in events {
-            if ev.event.label == AnomalyLabel::Outage && ev.covers(bin, flow) {
-                factor *= OUTAGE_RATE_FACTOR;
-            }
-        }
-        let mut acc = self.cell_with_rate_factor(bin, flow, factor);
         // Packet-injecting events.
-        let timestamp = bin as u64 * DatasetConfig::BIN_SECS;
         for ev in events {
             if ev.event.label == AnomalyLabel::Outage || !ev.covers(bin, flow) {
                 continue;
@@ -247,16 +269,21 @@ impl SyntheticNetwork {
                 ev.event.seed ^ cell_seed(self.config.seed, bin, flow),
             ));
             let n = poisson(&mut rng, ev.event.packets_per_cell);
-            let od = self.indexer.pair(flow);
             for mut pkt in
                 anomaly_packets(ev.event.label, &self.plan, od, n, timestamp, ev.event.seed)
             {
                 if self.config.anonymize {
                     pkt = pkt.anonymized();
                 }
-                acc.add_packet(&pkt);
+                sink(pkt);
             }
         }
+    }
+
+    /// Summarizes a cell with optional anomaly events applied.
+    fn cell_summary(&self, bin: usize, flow: usize, events: &[InjectedAnomaly]) -> BinSummary {
+        let mut acc = BinAccumulator::new();
+        self.visit_cell_packets(bin, flow, events, |pkt| acc.add_packet(&pkt));
         acc.summarize()
     }
 }
@@ -495,6 +522,43 @@ mod tests {
                 (d.tensor.get(5, 2, f) - s.entropy[f.index()]).abs() < 1e-12,
                 "feature {f} mismatch"
             );
+        }
+    }
+
+    #[test]
+    fn cell_packets_replay_reconstructs_generated_cells() {
+        // The streaming replay source must produce exactly the packets the
+        // batch generator accumulated — anomaly events included.
+        let ev = AnomalyEvent {
+            label: AnomalyLabel::PortScan,
+            start_bin: 6,
+            duration: 2,
+            flows: vec![1],
+            packets_per_cell: 80.0,
+            seed: 21,
+        };
+        let d = Dataset::generate(Topology::line(3), tiny_config(11), vec![ev]);
+        for (bin, flow) in [(6, 1), (7, 1), (5, 1), (6, 0)] {
+            let packets = d.net.cell_packets(bin, flow, &d.truth);
+            let mut acc = BinAccumulator::new();
+            for p in &packets {
+                acc.add_packet(p);
+            }
+            let s = acc.summarize();
+            assert_eq!(d.volumes.packets()[(bin, flow)], s.packets as f64);
+            assert_eq!(d.volumes.bytes()[(bin, flow)], s.bytes as f64);
+            for f in entromine_entropy::FEATURES {
+                assert_eq!(
+                    d.tensor.get(bin, flow, f),
+                    s.entropy[f.index()],
+                    "cell ({bin},{flow}) feature {f} diverged on replay"
+                );
+            }
+            // Every replayed packet is stamped inside its bin.
+            let t0 = bin as u64 * DatasetConfig::BIN_SECS;
+            assert!(packets
+                .iter()
+                .all(|p| p.timestamp >= t0 && p.timestamp < t0 + DatasetConfig::BIN_SECS));
         }
     }
 
