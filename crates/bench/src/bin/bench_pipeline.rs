@@ -14,28 +14,38 @@
 //!   paper-shaped `500 × 484` matrix (one week-ish of bins × `4p` unfolded
 //!   entropy columns of Abilene).
 //! * `gram` — the Gram product behind `Pca::fit_gram`.
-//! * `sym_eigen` — the eigensolver behind every fit.
+//! * `sym_eigen` — the dense eigensolver (the reference oracle).
+//! * `fit_geant` — the headline of the partial-spectrum engine: a full
+//!   PCA fit at Geant width (`4p = 1936`) under each `FitStrategy` (dense
+//!   QL oracle vs partial-spectrum vs Gram), with the resulting
+//!   Q-thresholds cross-checked against the oracle.
 //! * `streaming_ingest` — packets offered through `StreamingGridBuilder`
 //!   to finalized bins, in bins/sec and packets/sec.
 //! * `score` — `StreamingDiagnoser` throughput over finalized bins.
 
-use entromine::linalg::sym_eigen;
+use entromine::linalg::{sym_eigen, FitStrategy, Pca};
 use entromine::net::Topology;
+use entromine::subspace::{DimSelection, SubspaceModel};
 use entromine::synth::{Dataset, DatasetConfig};
 use entromine::Diagnoser;
 use entromine_bench::traffic_matrix;
 use entromine_entropy::{StreamConfig, StreamingGridBuilder};
 use std::time::Instant;
 
-/// Best-of-3 wall-clock milliseconds of `f`.
-fn best_ms<T>(mut f: impl FnMut() -> T) -> f64 {
+/// Best-of-`reps` wall-clock milliseconds of `f`.
+fn best_ms_n<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..3 {
+    for _ in 0..reps {
         let start = Instant::now();
         std::hint::black_box(f());
         best = best.min(start.elapsed().as_secs_f64() * 1e3);
     }
     best
+}
+
+/// Best-of-3 wall-clock milliseconds of `f`.
+fn best_ms<T>(f: impl FnMut() -> T) -> f64 {
+    best_ms_n(3, f)
 }
 
 fn main() {
@@ -68,12 +78,68 @@ fn main() {
     // -- gram ------------------------------------------------------------
     println!("gram 300x484 ...");
     let wide = traffic_matrix(300, 484, 0xBEEF);
-    let gram_ms = best_ms(|| wide.gram());
+    let gram_product_ms = best_ms(|| wide.gram());
 
     // -- sym_eigen -------------------------------------------------------
     println!("sym_eigen 300 ...");
     let cov = traffic_matrix(600, 300, 0xFEED).covariance().unwrap();
     let eigen_ms = best_ms(|| sym_eigen(&cov).unwrap());
+
+    // -- fit strategies at Geant width -----------------------------------
+    // One fit per strategy over the same 300-bin × 1936-column unfolding
+    // (Geant's 4p). The dense oracle is O(n³) and measured once; the
+    // partial and Gram engines are the production paths.
+    let (geant_t, geant_n, geant_m) = (300usize, 1936usize, 10usize);
+    println!("fit strategies {geant_t}x{geant_n} (m = {geant_m}) ...");
+    let geant = traffic_matrix(geant_t, geant_n, 0xC0FFEE ^ (geant_n as u64));
+    let dim = DimSelection::Fixed(geant_m);
+    // Capture each strategy's model from inside its timed closure (the
+    // threshold cross-check below must not refit — the oracle alone is
+    // ~50 s).
+    let mut full_model = None;
+    let full_ms = best_ms_n(1, || {
+        full_model = Some(SubspaceModel::fit_with(&geant, dim, FitStrategy::Full).unwrap());
+    });
+    let mut partial_model = None;
+    let partial_ms = best_ms_n(2, || {
+        partial_model = Some(SubspaceModel::fit_with(&geant, dim, FitStrategy::Partial).unwrap());
+    });
+    let mut gram_model = None;
+    let gram_ms = best_ms_n(2, || {
+        gram_model = Some(SubspaceModel::fit_with(&geant, dim, FitStrategy::Gram).unwrap());
+    });
+    let (full_model, partial_model, gram_model) = (
+        full_model.expect("timed at least once"),
+        partial_model.expect("timed at least once"),
+        gram_model.expect("timed at least once"),
+    );
+    assert_eq!(
+        partial_model.pca().strategy(),
+        FitStrategy::Partial,
+        "partial engine must not have fallen back at Geant width"
+    );
+    let partial_k = partial_model.pca().n_axes();
+    let oracle_threshold = full_model.threshold(0.999).unwrap();
+    let partial_threshold = partial_model.threshold(0.999).unwrap();
+    let gram_threshold = gram_model.threshold(0.999).unwrap();
+    let partial_rel = ((partial_threshold - oracle_threshold) / oracle_threshold).abs();
+    let gram_rel = ((gram_threshold - oracle_threshold) / oracle_threshold).abs();
+    let partial_speedup = full_ms / partial_ms;
+    let gram_speedup = full_ms / gram_ms;
+    println!(
+        "  full QL {full_ms:.0} ms, partial {partial_ms:.0} ms ({partial_speedup:.2}x), \
+         gram {gram_ms:.0} ms ({gram_speedup:.2}x)"
+    );
+    println!(
+        "  thresholds: oracle {oracle_threshold:.6e}, partial rel err {partial_rel:.2e}, \
+         gram rel err {gram_rel:.2e}"
+    );
+    // The Auto dispatcher must route this shape off the dense path.
+    let auto_model = SubspaceModel::fit(&geant, dim).unwrap();
+    assert_ne!(auto_model.pca().strategy(), FitStrategy::Full);
+
+    // Partial refits are also the Pca-level story (no threshold work):
+    let pca_partial_ms = best_ms_n(2, || Pca::fit_partial(&geant, partial_k).unwrap());
 
     // -- streaming ingest + score ----------------------------------------
     println!("streaming ingest + score (abilene, 36 bins, 0.05 scale) ...");
@@ -156,8 +222,22 @@ fn main() {
   "covariance": [
 {covariance_json}
   ],
-  "gram": {{ "rows": 300, "cols": 484, "ms": {gram_ms:.3} }},
+  "gram": {{ "rows": 300, "cols": 484, "ms": {gram_product_ms:.3} }},
   "sym_eigen": {{ "n": 300, "ms": {eigen_ms:.3} }},
+  "fit_geant": {{
+    "rows": {geant_t},
+    "cols": {geant_n},
+    "normal_dim": {geant_m},
+    "full_ql_ms": {full_ms:.3},
+    "partial_ms": {partial_ms:.3},
+    "partial_k": {partial_k},
+    "partial_pca_only_ms": {pca_partial_ms:.3},
+    "gram_ms": {gram_ms:.3},
+    "partial_speedup": {partial_speedup:.3},
+    "gram_speedup": {gram_speedup:.3},
+    "threshold_rel_err_partial": {partial_rel:.3e},
+    "threshold_rel_err_gram": {gram_rel:.3e}
+  }},
   "streaming_ingest": {{
     "flows": {p},
     "bins": {bins},

@@ -76,6 +76,10 @@ pub use pipeline::{
 pub use report::{cluster_rows, label_breakdown, match_truth, ClusterRow, LabelRow, MatchOutcome};
 pub use stream::StreamingDiagnoser;
 
+/// Re-exports of the [`DiagnoserConfig`] knob types, so pipeline callers
+/// need not reach into the subspace crate.
+pub use entromine_subspace::{FitStrategy, ThresholdPolicy};
+
 /// Re-export of the clustering layer.
 pub use entromine_cluster as cluster;
 /// Re-export of the entropy layer.

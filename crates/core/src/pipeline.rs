@@ -13,7 +13,9 @@
 
 use crate::stream::StreamingDiagnoser;
 use crate::DiagnosisError;
-use entromine_subspace::{DimSelection, FlowContribution, MultiwayModel, SubspaceModel};
+use entromine_subspace::{
+    DimSelection, FitStrategy, FlowContribution, MultiwayModel, SubspaceModel, ThresholdPolicy,
+};
 use entromine_synth::Dataset;
 
 /// Configuration of the diagnosis pipeline.
@@ -37,6 +39,19 @@ pub struct DiagnoserConfig {
     /// bins, the exclusion is considered implausible and refitting stops
     /// with the current models.
     pub max_excluded_fraction: f64,
+    /// Which eigensolver engine fits the three models. The default,
+    /// [`FitStrategy::Auto`], dispatches per matrix shape (Gram for wide
+    /// training windows, partial-spectrum for thin requests against wide
+    /// covariances, dense QL otherwise); [`FitStrategy::Full`] pins the
+    /// dense reference oracle. All engines agree to round-off.
+    pub strategy: FitStrategy,
+    /// How `alpha` becomes an SPE threshold:
+    /// [`ThresholdPolicy::JacksonMudholkar`] (the paper's analytic
+    /// threshold, exact for Gaussian residuals) or
+    /// [`ThresholdPolicy::Empirical`] (training-SPE order statistics —
+    /// prefer it at small traffic scales, where heteroskedastic entropy
+    /// noise makes the Gaussian threshold under-cover).
+    pub threshold_policy: ThresholdPolicy,
 }
 
 impl Default for DiagnoserConfig {
@@ -47,6 +62,8 @@ impl Default for DiagnoserConfig {
             max_ident_flows: 5,
             refit_rounds: 1,
             max_excluded_fraction: 0.25,
+            strategy: FitStrategy::Auto,
+            threshold_policy: ThresholdPolicy::JacksonMudholkar,
         }
     }
 }
@@ -232,11 +249,13 @@ impl Diagnoser {
                 other => other,
             }
         };
+        let strategy = self.config.strategy;
         let bytes = dataset.volumes.bytes().select_rows(rows);
         let packets = dataset.volumes.packets().select_rows(rows);
-        let bytes_model = SubspaceModel::fit(&bytes, dim_for(p))?;
-        let packets_model = SubspaceModel::fit(&packets, dim_for(p))?;
-        let entropy_model = MultiwayModel::fit_on_rows(&dataset.tensor, dim_for(4 * p), rows)?;
+        let bytes_model = SubspaceModel::fit_with(&bytes, dim_for(p), strategy)?;
+        let packets_model = SubspaceModel::fit_with(&packets, dim_for(p), strategy)?;
+        let entropy_model =
+            MultiwayModel::fit_on_rows_with(&dataset.tensor, dim_for(4 * p), rows, strategy)?;
         Ok(FittedDiagnoser {
             config: self.config,
             bytes_model,
@@ -325,9 +344,10 @@ impl FittedDiagnoser {
         dataset: &Dataset,
         alpha: f64,
     ) -> Result<std::collections::HashSet<usize>, DiagnosisError> {
-        let t_bytes = self.bytes_model.threshold(alpha)?;
-        let t_packets = self.packets_model.threshold(alpha)?;
-        let t_entropy = self.entropy_model.threshold(alpha)?;
+        let policy = self.config.threshold_policy;
+        let t_bytes = self.bytes_model.threshold_with(alpha, policy)?;
+        let t_packets = self.packets_model.threshold_with(alpha, policy)?;
+        let t_entropy = self.entropy_model.threshold_with(alpha, policy)?;
         let t2_bytes = self.bytes_model.t2_threshold(alpha);
         let t2_packets = self.packets_model.t2_threshold(alpha);
         let t2_entropy = self.entropy_model.inner().t2_threshold(alpha);
@@ -543,6 +563,92 @@ mod tests {
             Diagnoser::default().fit(&d),
             Err(DiagnosisError::BadDataset(_))
         ));
+    }
+
+    #[test]
+    fn empirical_policy_closes_the_small_scale_calibration_gap() {
+        // At small traffic scales the entropy residuals are strongly
+        // heteroskedastic (Poisson noise scales with rate) and the
+        // Gaussian Jackson–Mudholkar threshold under-covers: a clean
+        // window alarms on a sizable fraction of its own training bins.
+        // The empirical policy calibrates on the same SPE distribution it
+        // will score, so its training self-alarm rate is ~(1 - alpha) by
+        // construction.
+        let config = DatasetConfig {
+            seed: 31,
+            n_bins: 300,
+            sample_rate: 100,
+            traffic_scale: 0.05,
+            rate_noise: 0.02,
+            anonymize: false,
+        };
+        let d = Dataset::clean(Topology::abilene(), config);
+        let base = DiagnoserConfig {
+            refit_rounds: 0,
+            ..Default::default()
+        };
+        let jm = Diagnoser::new(base).fit(&d).unwrap().diagnose(&d).unwrap();
+        let empirical = Diagnoser::new(DiagnoserConfig {
+            threshold_policy: entromine_subspace::ThresholdPolicy::Empirical,
+            ..base
+        })
+        .fit(&d)
+        .unwrap()
+        .diagnose(&d)
+        .unwrap();
+        assert!(
+            jm.total() >= 5,
+            "fixture must exhibit the JM under-coverage ({} self-alarms)",
+            jm.total()
+        );
+        // 300 bins at alpha = 0.999: each detector's empirical quantile
+        // interpolates just below its training maximum, so the worst case
+        // is one self-alarm per detector — the designed (1 - alpha)
+        // coverage, not the heteroskedasticity-driven excess above.
+        assert!(
+            empirical.total() <= 3,
+            "empirical policy self-alarms on {} of 300 clean bins",
+            empirical.total()
+        );
+        assert!(
+            jm.total() > empirical.total(),
+            "empirical ({}) must improve on JM ({})",
+            empirical.total(),
+            jm.total()
+        );
+    }
+
+    #[test]
+    fn strategy_choice_does_not_change_diagnoses() {
+        // The engines differ at round-off; a detection set on a dataset
+        // with a clear injected anomaly must not.
+        let ev = event(AnomalyLabel::PortScan, 45, 12, 900.0, 17);
+        let d = Dataset::generate(Topology::abilene(), cfg(16, 90), vec![ev]);
+        let reports: Vec<Vec<usize>> = [
+            entromine_subspace::FitStrategy::Auto,
+            entromine_subspace::FitStrategy::Full,
+            entromine_subspace::FitStrategy::Gram,
+        ]
+        .into_iter()
+        .map(|strategy| {
+            let fitted = Diagnoser::new(DiagnoserConfig {
+                strategy,
+                ..Default::default()
+            })
+            .fit(&d)
+            .unwrap();
+            fitted
+                .diagnose(&d)
+                .unwrap()
+                .diagnoses
+                .iter()
+                .map(|x| x.bin)
+                .collect()
+        })
+        .collect();
+        assert!(reports[0].contains(&45), "anomaly lost: {:?}", reports[0]);
+        assert_eq!(reports[0], reports[1], "auto vs full");
+        assert_eq!(reports[0], reports[2], "auto vs gram");
     }
 
     #[test]

@@ -46,12 +46,16 @@ pub struct StreamingDiagnoser<'a> {
 
 impl<'a> StreamingDiagnoser<'a> {
     pub(crate) fn new(fitted: &'a FittedDiagnoser, alpha: f64) -> Result<Self, DiagnosisError> {
+        // Thresholds honor the configured policy: the analytic
+        // Jackson–Mudholkar formula by default, training-SPE order
+        // statistics under `ThresholdPolicy::Empirical`.
+        let policy = fitted.config().threshold_policy;
         Ok(StreamingDiagnoser {
             fitted,
             alpha,
-            t_bytes: fitted.bytes_model().threshold(alpha)?,
-            t_packets: fitted.packets_model().threshold(alpha)?,
-            t_entropy: fitted.entropy_model().threshold(alpha)?,
+            t_bytes: fitted.bytes_model().threshold_with(alpha, policy)?,
+            t_packets: fitted.packets_model().threshold_with(alpha, policy)?,
+            t_entropy: fitted.entropy_model().threshold_with(alpha, policy)?,
             bins_scored: 0,
             detections: 0,
         })

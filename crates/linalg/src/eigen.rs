@@ -271,20 +271,83 @@ fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Mat) -> Result<(), LinalgError> {
     Ok(())
 }
 
-/// Leading `k` eigenpairs of a symmetric matrix by block orthogonal
-/// iteration (a.k.a. simultaneous/subspace iteration).
+/// Convergence diagnostics of a [`top_k_eigen_detailed`] run.
 ///
-/// Starts from a seeded random orthonormal block and iterates
-/// `Q <- orth(A Q)` until the Rayleigh quotients stabilise to within `tol`
-/// (relative) or `max_iter` sweeps elapse. Intended for covariance matrices
-/// (symmetric PSD); eigenvalue signs are not disambiguated for indefinite
-/// matrices with eigenvalues of equal magnitude.
+/// The partial-spectrum fit path inspects this to decide whether the
+/// computed Ritz pairs are trustworthy (and falls back to the full QL
+/// oracle when they are not), and to report how well-separated the
+/// normal subspace is from the residual spectrum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKInfo {
+    /// Rayleigh–Ritz cycles performed.
+    pub iterations: usize,
+    /// `true` when every requested pair passed the residual-norm test
+    /// `‖A v − λ v‖ ≤ tol·λ₁` before the cycle budget ran out.
+    pub converged: bool,
+    /// Worst residual norm `‖A v − λ v‖` among the returned pairs (a
+    /// backward-error bound on each returned eigenvalue, by Weyl).
+    pub max_residual: f64,
+    /// Relative spectral gap `(λ_k − λ_{k+1}) / λ_1` between the last
+    /// returned eigenvalue and the best Ritz estimate of the first
+    /// discarded one, when an oversampled estimate exists. A vanishing
+    /// gap means the cut sliced through a cluster: the *subspace* spanned
+    /// is still accurate but individual trailing vectors are not
+    /// individually determined.
+    pub trailing_gap: Option<f64>,
+}
+
+/// Extra iteration columns carried beyond `k`: the convergence rate of the
+/// `k`-th pair improves from `(λ_{k+1}/λ_k)` per sweep to
+/// `(λ_{k+b+1}/λ_k)`, which is what makes clustered tails tractable.
+const OVERSAMPLE: usize = 8;
+
+/// Leading `k` eigenpairs of a symmetric matrix by block orthogonal
+/// iteration — the convenience wrapper over [`top_k_eigen_detailed`]
+/// that discards the diagnostics.
 ///
 /// # Errors
 ///
 /// Same shape errors as [`sym_eigen`]; [`LinalgError::Domain`] if
 /// `k == 0` or `k > n`.
 pub fn top_k_eigen(a: &Mat, k: usize, seed: u64) -> Result<SymEigen, LinalgError> {
+    top_k_eigen_detailed(a, k, seed).map(|(eigen, _)| eigen)
+}
+
+/// Leading `k` eigenpairs by blocked subspace iteration with Ritz locking,
+/// plus convergence diagnostics.
+///
+/// The production path behind the partial-spectrum fit engine:
+///
+/// * the working block is **oversampled** (`k + 8` columns, capped at `n`)
+///   so trailing pairs converge at the rate of the discarded spectrum, not
+///   their own nearest neighbour;
+/// * every cycle performs one multiply `Y = A·Q` that is reused for the
+///   power step, the Rayleigh–Ritz projection `QᵀY`, *and* the residual
+///   test (`A·v = Y·w` for a Ritz pair `(λ, v = Q·w)` — no second
+///   multiply);
+/// * convergence is a **residual-norm test** `‖A v − λ v‖ ≤ 10⁻¹¹·λ₁`
+///   per pair — a backward-error bound — rather than Rayleigh-quotient
+///   drift, which can stall flat while the subspace is still rotating;
+/// * converged leading pairs are **locked** (deflated): they leave the
+///   working block, later cycles orthogonalize against them, and the
+///   block shrinks as pairs land;
+/// * basis columns that collapse during re-orthogonalization (rank-deficient
+///   input) are restarted from fresh seeded randomness, so the returned
+///   basis stays orthonormal even past the matrix's numerical rank.
+///
+/// If the cycle budget runs out the best current Ritz pairs fill the
+/// remainder and [`TopKInfo::converged`] is `false`; callers that need
+/// certainty (the fit dispatcher) treat that as "use the dense oracle".
+///
+/// # Errors
+///
+/// Same shape errors as [`sym_eigen`]; [`LinalgError::Domain`] if
+/// `k == 0` or `k > n`.
+pub fn top_k_eigen_detailed(
+    a: &Mat,
+    k: usize,
+    seed: u64,
+) -> Result<(SymEigen, TopKInfo), LinalgError> {
     if a.rows() != a.cols() {
         return Err(LinalgError::NotSquare { shape: a.shape() });
     }
@@ -294,83 +357,228 @@ pub fn top_k_eigen(a: &Mat, k: usize, seed: u64) -> Result<SymEigen, LinalgError
             what: "top_k_eigen requires 1 <= k <= n",
         });
     }
+    let block = (k + OVERSAMPLE).min(n);
     let mut rng = StdRng::seed_from_u64(seed);
-    // n x k block with random entries, then orthonormalized.
-    let mut q: Vec<Vec<f64>> = (0..k)
+    let mut q: Vec<Vec<f64>> = (0..block)
         .map(|_| (0..n).map(|_| rng.random::<f64>() - 0.5).collect())
         .collect();
-    gram_schmidt(&mut q);
+    orthonormalize(&mut q, &[], &mut rng);
 
-    let max_iter = 500;
-    let tol = 1e-12;
-    let mut prev = vec![f64::INFINITY; k];
-    for it in 0..max_iter {
-        // q_j <- A q_j for every block column, then re-orthonormalize.
-        let mut next: Vec<Vec<f64>> = Vec::with_capacity(k);
-        for col in &q {
-            next.push(a.matvec(col).expect("square matrix times n-vector"));
+    let mut locked_vals: Vec<f64> = Vec::with_capacity(k);
+    let mut locked_vecs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut max_locked_residual = 0.0f64;
+    let mut trailing_estimate: Option<f64> = None;
+    let max_cycles = 400;
+    let mut cycles = 0;
+
+    while locked_vals.len() < k && cycles < max_cycles && !q.is_empty() {
+        cycles += 1;
+        // One multiply per cycle, reused three ways.
+        let y = block_matvec(a, &q);
+        let b = q.len();
+        // Projected problem, symmetrized against round-off.
+        let small = Mat::from_fn(b, b, |i, j| 0.5 * (dot(&q[i], &y[j]) + dot(&q[j], &y[i])));
+        let inner = sym_eigen(&small)?;
+        // Ritz vectors V = Q·W and their images A·V = Y·W.
+        let v = rotate(&q, &inner.vectors);
+        let av = rotate(&y, &inner.vectors);
+
+        // Scale for the residual tolerance: the largest eigenvalue seen.
+        let lead = locked_vals
+            .first()
+            .copied()
+            .unwrap_or(0.0)
+            .abs()
+            .max(inner.values.first().copied().unwrap_or(0.0).abs());
+        let tol = (1e-11 * lead).max(1e-300);
+
+        // Lock the converged *prefix* (locking out of order would let an
+        // unconverged leading pair be shadowed by a converged trailing one).
+        let want = k - locked_vals.len();
+        let mut locked_now = 0;
+        for i in 0..b.min(want) {
+            let r = residual_norm(&av[i], inner.values[i], &v[i]);
+            if r <= tol {
+                max_locked_residual = max_locked_residual.max(r);
+                locked_vals.push(inner.values[i]);
+                locked_vecs.push(v[i].clone());
+                locked_now += 1;
+            } else {
+                break;
+            }
         }
-        gram_schmidt(&mut next);
-        q = next;
-        // Rayleigh quotients approximate the eigenvalues.
-        let mut vals: Vec<f64> = Vec::with_capacity(k);
-        for col in &q {
-            let av = a.matvec(col).expect("square matrix times n-vector");
-            vals.push(dot(col, &av));
-        }
-        let max_rel = vals
-            .iter()
-            .zip(&prev)
-            .map(|(v, p)| {
-                let denom = v.abs().max(1e-300);
-                (v - p).abs() / denom
-            })
-            .fold(0.0, f64::max);
-        prev = vals;
-        if max_rel < tol && it > 2 {
+        if locked_vals.len() == k {
+            // First Ritz value beyond the returned set, for the gap
+            // diagnostic (exists whenever the block was oversampled).
+            trailing_estimate = inner.values.get(locked_now).copied();
             break;
+        }
+
+        // Power step on the unlocked Ritz vectors: their images A·V are
+        // already in hand. Re-orthonormalize against the locked pairs.
+        q = av.into_iter().skip(locked_now).collect();
+        orthonormalize(&mut q, &locked_vecs, &mut rng);
+    }
+
+    let converged = locked_vals.len() >= k;
+    if !converged {
+        // Budget exhausted: fill with the best current Ritz pairs so the
+        // caller still gets a usable (if unwarranted) answer.
+        let y = block_matvec(a, &q);
+        let b = q.len();
+        if b > 0 {
+            let small = Mat::from_fn(b, b, |i, j| 0.5 * (dot(&q[i], &y[j]) + dot(&q[j], &y[i])));
+            let inner = sym_eigen(&small)?;
+            let v = rotate(&q, &inner.vectors);
+            let av = rotate(&y, &inner.vectors);
+            for i in 0..b.min(k - locked_vals.len()) {
+                max_locked_residual =
+                    max_locked_residual.max(residual_norm(&av[i], inner.values[i], &v[i]));
+                locked_vals.push(inner.values[i]);
+                locked_vecs.push(v[i].clone());
+            }
         }
     }
 
-    // Final Rayleigh–Ritz step: project A into span(Q) and solve the small
-    // k x k problem exactly, which resolves nearly-equal eigenvalues.
-    let qmat = Mat::from_fn(n, k, |i, j| q[j][i]);
-    let aq = a.matmul(&qmat)?;
-    let small = qmat.transpose().matmul(&aq)?;
-    // Symmetrize against round-off before the dense solve.
-    let small = Mat::from_fn(k, k, |i, j| 0.5 * (small[(i, j)] + small[(j, i)]));
-    let inner = sym_eigen(&small)?;
-    let vectors = qmat.matmul(&inner.vectors)?;
-    Ok(SymEigen {
-        values: inner.values,
-        vectors,
-    })
+    // Locking preserves descending order for well-separated spectra, but a
+    // cluster straddling two cycles can land marginally out of order.
+    let mut order: Vec<usize> = (0..locked_vals.len()).collect();
+    order.sort_by(|&i, &j| {
+        locked_vals[j]
+            .partial_cmp(&locked_vals[i])
+            .expect("Ritz values are finite")
+    });
+    let values: Vec<f64> = order.iter().map(|&i| locked_vals[i]).collect();
+    let vectors = Mat::from_fn(n, values.len(), |i, j| locked_vecs[order[j]][i]);
+
+    let trailing_gap = trailing_estimate.and_then(|next| {
+        let lead = values.first().copied().unwrap_or(0.0);
+        let last = values.last().copied().unwrap_or(0.0);
+        (lead > 0.0).then(|| ((last - next) / lead).max(0.0))
+    });
+    Ok((
+        SymEigen { values, vectors },
+        TopKInfo {
+            iterations: cycles,
+            converged,
+            max_residual: max_locked_residual,
+            trailing_gap,
+        },
+    ))
 }
 
-/// In-place modified Gram–Schmidt over a set of column vectors.
+/// `A·[x₁ … x_b]` for square `A`, as one blocked product.
 ///
-/// Vectors that collapse to (numerical) zero are replaced with zero vectors;
-/// callers pass random full-rank blocks so this is a non-issue in practice.
-fn gram_schmidt(cols: &mut [Vec<f64>]) {
-    let k = cols.len();
-    for j in 0..k {
-        // Split the slice so we can read earlier columns while mutating col j.
-        let (done, rest) = cols.split_at_mut(j);
-        let col = &mut rest[0];
-        for prev in done.iter() {
-            let proj = dot(prev, col);
-            for (c, p) in col.iter_mut().zip(prev) {
-                *c -= proj * p;
+/// The subspace iteration's cost is entirely this multiply, so it gets a
+/// dedicated kernel: the block is packed row-major (so the inner loop is
+/// contiguous), `A` streams through memory **once per cycle** instead of
+/// once per column, and each output row accumulates in a fixed-size stack
+/// array that the compiler keeps in vector registers across the whole
+/// `k` scan. Blocks wider than the accumulator are processed in panels.
+fn block_matvec(a: &Mat, cols: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    /// Accumulator width: 32 f64 lanes fit comfortably in registers and
+    /// cover `k + OVERSAMPLE` for every normal-subspace dimension the
+    /// pipeline uses; wider blocks just take another panel pass.
+    const ACC: usize = 32;
+    let n = a.rows();
+    let b = cols.len();
+    let mut out = vec![vec![0.0; n]; b];
+    let mut panel_start = 0;
+    while panel_start < b {
+        let panel = (b - panel_start).min(ACC);
+        // Pack this panel of columns row-major for contiguous access.
+        let mut packed = Mat::zeros(n, panel);
+        for (j, col) in cols[panel_start..panel_start + panel].iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                packed[(i, j)] = v;
             }
         }
-        let norm = norm2(col);
-        if norm > 1e-300 {
-            for c in col.iter_mut() {
-                *c /= norm;
+        let mut acc = [0.0f64; ACC];
+        for (i, a_row) in a.row_iter().enumerate() {
+            acc[..panel].fill(0.0);
+            for (&aik, prow) in a_row.iter().zip(packed.row_iter()) {
+                for (slot, &p) in acc[..panel].iter_mut().zip(prow) {
+                    *slot += aik * p;
+                }
             }
-        } else {
-            for c in col.iter_mut() {
-                *c = 0.0;
+            for (j, slot) in acc[..panel].iter().enumerate() {
+                out[panel_start + j][i] = *slot;
+            }
+        }
+        panel_start += panel;
+    }
+    out
+}
+
+/// `‖a_v − λ v‖` for a Ritz pair `(λ, v)` with image `a_v = A·v`.
+fn residual_norm(av: &[f64], lambda: f64, v: &[f64]) -> f64 {
+    av.iter()
+        .zip(v)
+        .map(|(&y, &x)| {
+            let d = y - lambda * x;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Linear combinations `out_j = Σ_i w[(i, j)] cols_i` (the Ritz rotation).
+fn rotate(cols: &[Vec<f64>], w: &Mat) -> Vec<Vec<f64>> {
+    let n = cols.first().map_or(0, Vec::len);
+    (0..w.cols())
+        .map(|j| {
+            let mut out = vec![0.0; n];
+            for (i, col) in cols.iter().enumerate() {
+                let wij = w[(i, j)];
+                if wij == 0.0 {
+                    continue;
+                }
+                for (o, &c) in out.iter_mut().zip(col) {
+                    *o += wij * c;
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// In-place modified Gram–Schmidt of `cols` against `fixed` and then
+/// against earlier columns, with **random restart**: a column that
+/// collapses to numerical zero (the block has outrun the matrix's rank)
+/// is replaced by a fresh seeded random vector and re-orthogonalized, so
+/// the returned block is always orthonormal.
+fn orthonormalize(cols: &mut [Vec<f64>], fixed: &[Vec<f64>], rng: &mut StdRng) {
+    let k = cols.len();
+    for j in 0..k {
+        // One retry with a fresh random draw is enough: a random vector is
+        // almost surely independent of the < n existing directions.
+        for attempt in 0..2 {
+            let (done, rest) = cols.split_at_mut(j);
+            let col = &mut rest[0];
+            for prev in fixed.iter().chain(done.iter()) {
+                let proj = dot(prev, col);
+                if proj == 0.0 {
+                    continue;
+                }
+                for (c, p) in col.iter_mut().zip(prev) {
+                    *c -= proj * p;
+                }
+            }
+            let norm = norm2(col);
+            if norm > 1e-150 {
+                for c in col.iter_mut() {
+                    *c /= norm;
+                }
+                break;
+            }
+            if attempt == 0 {
+                for c in col.iter_mut() {
+                    *c = rng.random::<f64>() - 0.5;
+                }
+            } else {
+                for c in col.iter_mut() {
+                    *c = 0.0;
+                }
             }
         }
     }

@@ -8,16 +8,24 @@
 //!   operations (multiply, transpose, column statistics, norms).
 //! * [`sym_eigen`] — a full symmetric eigendecomposition (Householder
 //!   tridiagonalization followed by implicit-shift QL iteration), the
-//!   workhorse behind principal component analysis.
-//! * [`top_k_eigen`] — block orthogonal iteration for the leading `k`
-//!   eigenpairs; used as an independent cross-check of [`sym_eigen`] and as a
-//!   fast path when only the normal subspace is required.
+//!   reference oracle behind principal component analysis.
+//! * [`top_k_eigen`] / [`top_k_eigen_detailed`] — blocked subspace
+//!   iteration with Ritz locking, residual-norm convergence, and
+//!   oversampling for the leading `k` eigenpairs: the production engine of
+//!   partial-spectrum fits.
+//! * [`Spectrum`] — a partial eigenspectrum plus *exact* full-spectrum
+//!   power sums via trace identities (`tr C`, `‖C‖²_F`, `tr C³` — the
+//!   latter by a blocked scoped-thread kernel, [`sym_trace_cubed`]), which
+//!   is everything the Jackson–Mudholkar threshold needs from the
+//!   residual eigenvalues.
 //! * [`Pca`] — principal component analysis over the rows of a data matrix
 //!   (columns are variables), as used to split traffic into normal and
-//!   residual subspaces. Three fit paths: the covariance eigenproblem
+//!   residual subspaces. Four fit engines behind the [`FitStrategy`]
+//!   dispatcher ([`Pca::fit_with`]): the dense covariance eigenproblem
 //!   ([`Pca::fit`]), the `rows × rows` Gram eigenproblem for wide matrices
-//!   ([`Pca::fit_gram`]), and a streaming fit from incremental moments
-//!   ([`Pca::fit_from_moments`]).
+//!   ([`Pca::fit_gram`]), the partial-spectrum engine for thin requests
+//!   against wide covariances ([`Pca::fit_partial`]), and a streaming fit
+//!   from incremental moments ([`Pca::fit_from_moments`]).
 //! * [`MomentAccumulator`] — Welford-style online mean + covariance over a
 //!   row stream, the substrate of the streaming fit phase: rows are
 //!   absorbed as they are finalized and the `t × n` training matrix never
@@ -60,11 +68,13 @@ mod moments;
 mod par;
 mod pca;
 mod solve;
+mod spectrum;
 pub mod stats;
 
-pub use eigen::{sym_eigen, top_k_eigen, SymEigen};
+pub use eigen::{sym_eigen, top_k_eigen, top_k_eigen_detailed, SymEigen, TopKInfo};
 pub use error::LinalgError;
 pub use matrix::Mat;
 pub use moments::MomentAccumulator;
-pub use pca::Pca;
+pub use pca::{AxisRequest, FitStrategy, Pca};
 pub use solve::{solve, solve_regularized};
+pub use spectrum::{sym_trace_cubed, ResidualPowerSums, Spectrum};

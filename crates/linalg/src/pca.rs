@@ -4,29 +4,118 @@
 //! timepoints, columns = variables) as samples of a correlated process,
 //! finds the principal axes of variation, and splits every observation into
 //! a *normal* component (projection onto the leading axes) and a *residual*
-//! component (everything else). [`Pca`] packages the fitted axes plus the
-//! full eigenvalue spectrum, which downstream code needs for detection
-//! thresholds.
+//! component (everything else). [`Pca`] packages the fitted axes plus a
+//! [`Spectrum`] — the leading eigenvalues it knows exactly and the exact
+//! full-spectrum power sums downstream detection thresholds need.
+//!
+//! # Fit engines and dispatch
+//!
+//! Four concrete engines produce the same model at different costs:
+//!
+//! * **Full** ([`Pca::fit`]) — dense QL on the `n × n` covariance,
+//!   `O(n³)`: the reference oracle, and the only engine that materializes
+//!   every eigenpair.
+//! * **Gram** ([`Pca::fit_gram`]) — the `t × t` Gram eigenproblem,
+//!   `O(t³ + t²n)`: exact (the unstored tail of the spectrum is exactly
+//!   zero), and the cheap path whenever `rows < cols`.
+//! * **Partial** ([`Pca::fit_partial`]) — top-`k` eigenpairs by locked
+//!   subspace iteration plus trace-identity power sums, `O(k·n²)` with an
+//!   embarrassingly parallel `n³/2`-flop trace kernel: the engine for
+//!   tall-and-wide refits where only a thin normal subspace is needed.
+//! * **Moments** ([`Pca::fit_from_moments`]) — either of the covariance
+//!   engines, fed from streamed moments instead of a materialized matrix.
+//!
+//! [`FitStrategy`] names the engines; [`FitStrategy::Auto`] picks one from
+//! the data shape and the caller's [`AxisRequest`], escalating a partial
+//! fit (doubling `k`, ultimately falling back to full QL) whenever the
+//! partial spectrum cannot answer the request or its iteration fails to
+//! converge. Every strategy yields thresholds within round-off of the
+//! full-QL oracle; the equivalence is pinned by proptests in the subspace
+//! crate.
 
 use crate::matrix::dot;
-use crate::{sym_eigen, LinalgError, Mat, MomentAccumulator, SymEigen};
+use crate::spectrum::{ResidualPowerSums, Spectrum};
+use crate::{sym_eigen, LinalgError, Mat, MomentAccumulator};
+
+/// Which engine fits the eigenstructure of the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FitStrategy {
+    /// Choose from the data shape and the axis request: `rows < cols`
+    /// dispatches to [`Gram`](Self::Gram) (when the rank bound supports
+    /// the request), thin requests against wide covariances dispatch to
+    /// [`Partial`](Self::Partial), everything else runs
+    /// [`Full`](Self::Full).
+    #[default]
+    Auto,
+    /// Dense QL on the full covariance — the `O(n³)` reference oracle.
+    Full,
+    /// Top-`k` eigenpairs + trace-identity residual power sums,
+    /// `O(k·n²)`. Escalates `k` (and ultimately falls back to
+    /// [`Full`](Self::Full)) if the request cannot be answered from the
+    /// partial spectrum or the iteration does not converge.
+    Partial,
+    /// The `rows × rows` Gram eigenproblem, `O(t³ + t²n)` — exact, and
+    /// the natural engine for wide matrices.
+    Gram,
+}
+
+/// How many principal axes a fit must be able to deliver.
+///
+/// The dispatcher sizes partial fits from this: [`Components`] requests
+/// come with their dimension attached, [`VarianceFraction`] requests are
+/// answered adaptively (fit a thin spectrum, escalate until the cumulative
+/// known variance resolves the fraction against the exact trace).
+///
+/// [`Components`]: Self::Components
+/// [`VarianceFraction`]: Self::VarianceFraction
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AxisRequest {
+    /// Exactly this many leading axes.
+    Components(usize),
+    /// Enough axes to capture this fraction of total variance.
+    VarianceFraction(f64),
+}
+
+/// Eigenpairs kept beyond the requested dimension by a partial fit: one
+/// for the spectral-gap diagnostic at the cut, the rest convergence
+/// headroom for clustered tails.
+const PARTIAL_MARGIN: usize = 7;
+
+/// A partial fit must be asked for at most this fraction of the spectrum
+/// (as `n / PARTIAL_MIN_ADVANTAGE`) before `Auto` prefers it: below that
+/// the `O(k·n²)` iteration stops beating the dense solve's constant.
+const PARTIAL_MIN_ADVANTAGE: usize = 4;
+
+/// `Auto` only answers a variance-fraction request partially when the
+/// covariance is at least this wide; below it the dense solve is cheap.
+const PARTIAL_VF_MIN_COLS: usize = 256;
+
+/// Initial `k` of an adaptive variance-fraction partial fit.
+const PARTIAL_VF_INITIAL_K: usize = 32;
+
+/// Seed of the partial engine's subspace iteration: fits are deterministic.
+const PARTIAL_SEED: u64 = 0x5350_4543;
 
 /// A fitted principal component analysis.
 ///
 /// Built by [`Pca::fit`] (covariance eigenproblem), [`Pca::fit_gram`] (the
 /// equivalent `rows × rows` Gram eigenproblem, cheaper for wide matrices),
-/// or [`Pca::fit_from_moments`] (streaming, from an incremental
-/// [`MomentAccumulator`]); columns of the input are centered to zero mean
+/// [`Pca::fit_partial`] (top-`k` + trace-identity power sums),
+/// [`Pca::fit_from_moments`] (streaming, from an incremental
+/// [`MomentAccumulator`]), or the [`FitStrategy`] dispatcher
+/// ([`Pca::fit_with`]); columns of the input are centered to zero mean
 /// before the covariance is formed (as in Lakhina et al., SIGCOMM 2004).
 ///
 /// The covariance and moments paths carry one principal axis per variable;
 /// the Gram path carries only the axes the data can support (at most
-/// `rows`), which is all any projection with `m < rank` can use. The axis
-/// count is exposed as [`n_axes`](Self::n_axes).
+/// `rows`) and the partial path only the `k` it computed, which is all any
+/// projection with `m ≤ k` can use. The axis count is exposed as
+/// [`n_axes`](Self::n_axes).
 #[derive(Debug, Clone)]
 pub struct Pca {
     mean: Vec<f64>,
-    eigen: SymEigen,
+    spectrum: Spectrum,
+    strategy: FitStrategy,
 }
 
 impl Pca {
@@ -44,8 +133,7 @@ impl Pca {
         }
         let mean = x.col_means();
         let cov = x.covariance()?;
-        let eigen = sym_eigen(&cov)?;
-        Ok(Pca { mean, eigen })
+        Self::full_from_cov(mean, &cov)
     }
 
     /// Fits the same model as [`fit`](Self::fit) by solving the `t × t`
@@ -64,13 +152,9 @@ impl Pca {
     /// they are cross-checked in proptests. The returned model carries
     /// only the data's supportable axes (`n_axes() ≤ min(t, n)`) plus the
     /// full zero-padded eigenvalue spectrum, so downstream threshold code
-    /// sees the exact covariance-path spectrum.
-    ///
-    /// The detection pipeline does **not** auto-dispatch here yet: this
-    /// refactor is bit-for-bit behavior-preserving, and the Gram path's
-    /// round-off-level differences could flip borderline detections.
-    /// Wiring `rows < cols` dispatch into `SubspaceModel::fit` is a
-    /// recorded ROADMAP follow-up.
+    /// sees the exact covariance-path spectrum. [`FitStrategy::Auto`]
+    /// dispatches here whenever `rows < cols` and the rank bound supports
+    /// the request.
     ///
     /// # Errors
     ///
@@ -126,8 +210,45 @@ impl Pca {
         }
         Ok(Pca {
             mean,
-            eigen: SymEigen { values, vectors },
+            spectrum: Spectrum::complete_padded(values, vectors),
+            strategy: FitStrategy::Gram,
         })
+    }
+
+    /// Fits the top-`k` principal axes plus exact trace-identity power
+    /// sums, without ever diagonalizing the full covariance.
+    ///
+    /// The `O(n³)` dense eigensolve becomes `O(k·n²)` locked subspace
+    /// iteration plus one `n³/2`-flop blocked trace pass — the difference
+    /// between ~seconds and ~hundreds of milliseconds at Geant width
+    /// (`4p = 1936`), and the engine behind routine large-`n` refits.
+    /// Detection thresholds computed from the result agree with the
+    /// full-QL oracle to round-off because the residual power sums are
+    /// exact, not truncated.
+    ///
+    /// If the iteration fails to converge (pathological spectra), the
+    /// model silently falls back to the dense oracle — correctness is
+    /// never traded for speed. [`strategy`](Self::strategy) reports which
+    /// engine actually produced the model.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`fit`](Self::fit), plus [`LinalgError::Domain`]
+    /// if `k == 0` or `k > cols`.
+    pub fn fit_partial(x: &Mat, k: usize) -> Result<Self, LinalgError> {
+        if x.cols() == 0 {
+            return Err(LinalgError::Empty {
+                what: "PCA of a matrix with zero columns",
+            });
+        }
+        if k == 0 || k > x.cols() {
+            return Err(LinalgError::Domain {
+                what: "partial fit requires 1 <= k <= cols",
+            });
+        }
+        let mean = x.col_means();
+        let cov = x.covariance()?;
+        Self::partial_from_cov(mean, &cov, k)
     }
 
     /// Fits a PCA from streamed moments instead of a materialized matrix.
@@ -148,11 +269,183 @@ impl Pca {
             });
         }
         let cov = moments.covariance()?;
-        let eigen = sym_eigen(&cov)?;
+        Self::full_from_cov(moments.mean().to_vec(), &cov)
+    }
+
+    /// Fits with an explicit [`FitStrategy`], dispatching on the data
+    /// shape and the [`AxisRequest`] when the strategy is
+    /// [`Auto`](FitStrategy::Auto).
+    ///
+    /// The dispatch rules, in order:
+    ///
+    /// 1. `rows < cols` and the Gram rank bound (`rank ≤ rows − 1`) can
+    ///    support the request → **Gram** (exact, `O(t³ + t²n)`).
+    /// 2. The request needs only a thin slice of a wide spectrum
+    ///    (`k ≤ n/4` for fixed requests; `n ≥ 256` for variance-fraction
+    ///    ones) → **Partial**.
+    /// 3. Otherwise → **Full**.
+    ///
+    /// A forced [`Partial`](FitStrategy::Partial) that cannot pay for
+    /// itself (thin matrices, requests spanning most of the spectrum)
+    /// degrades gracefully to the dense solve rather than failing; check
+    /// [`strategy`](Self::strategy) for the engine actually used.
+    ///
+    /// # Errors
+    ///
+    /// The shape conditions of the selected engine, plus
+    /// [`LinalgError::Domain`] for a non-finite or out-of-`(0, 1)`
+    /// variance fraction handed to a partial fit.
+    pub fn fit_with(
+        x: &Mat,
+        strategy: FitStrategy,
+        request: AxisRequest,
+    ) -> Result<Self, LinalgError> {
+        let (t, n) = x.shape();
+        match strategy {
+            FitStrategy::Full => Self::fit(x),
+            FitStrategy::Gram => Self::fit_gram(x),
+            FitStrategy::Partial => {
+                if n == 0 {
+                    return Err(LinalgError::Empty {
+                        what: "PCA of a matrix with zero columns",
+                    });
+                }
+                let mean = x.col_means();
+                let cov = x.covariance()?;
+                Self::partial_for_request(mean, &cov, request)
+            }
+            FitStrategy::Auto => {
+                if t < n && t >= 2 && gram_supports(t, request) {
+                    let gram = Self::fit_gram(x)?;
+                    // The row count bounded the rank a priori, but the
+                    // *numerical* rank is only known after the fit: short
+                    // or degenerate windows can support fewer axes than
+                    // the request needs. Auto must then degrade to the
+                    // dense oracle (which always carries `n` axes), not
+                    // surface an error the old full path never raised.
+                    if gram_delivers(&gram, request) {
+                        Ok(gram)
+                    } else {
+                        Self::fit(x)
+                    }
+                } else if partial_profitable(n, request) {
+                    let mean = x.col_means();
+                    let cov = x.covariance()?;
+                    Self::partial_for_request(mean, &cov, request)
+                } else {
+                    Self::fit(x)
+                }
+            }
+        }
+    }
+
+    /// [`fit_with`](Self::fit_with) over streamed moments. The Gram engine
+    /// needs raw rows and is unavailable here; [`Auto`](FitStrategy::Auto)
+    /// chooses between the full and partial covariance engines.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`fit_from_moments`](Self::fit_from_moments),
+    /// plus [`LinalgError::Domain`] when the Gram strategy is forced.
+    pub fn fit_from_moments_with(
+        moments: &MomentAccumulator,
+        strategy: FitStrategy,
+        request: AxisRequest,
+    ) -> Result<Self, LinalgError> {
+        if moments.dim() == 0 {
+            return Err(LinalgError::Empty {
+                what: "PCA of a matrix with zero columns",
+            });
+        }
+        match strategy {
+            FitStrategy::Full => Self::fit_from_moments(moments),
+            FitStrategy::Gram => Err(LinalgError::Domain {
+                what: "gram fits need raw rows, which streamed moments do not retain",
+            }),
+            FitStrategy::Partial => {
+                let cov = moments.covariance()?;
+                Self::partial_for_request(moments.mean().to_vec(), &cov, request)
+            }
+            FitStrategy::Auto => {
+                if partial_profitable(moments.dim(), request) {
+                    let cov = moments.covariance()?;
+                    Self::partial_for_request(moments.mean().to_vec(), &cov, request)
+                } else {
+                    Self::fit_from_moments(moments)
+                }
+            }
+        }
+    }
+
+    /// The full-QL oracle over a prepared covariance.
+    fn full_from_cov(mean: Vec<f64>, cov: &Mat) -> Result<Self, LinalgError> {
+        let eigen = sym_eigen(cov)?;
         Ok(Pca {
-            mean: moments.mean().to_vec(),
-            eigen,
+            mean,
+            spectrum: Spectrum::complete(eigen),
+            strategy: FitStrategy::Full,
         })
+    }
+
+    /// A `k`-pair partial model over a prepared covariance, falling back
+    /// to the oracle when the iteration does not converge or the partial
+    /// spectrum would cover (nearly) everything anyway.
+    fn partial_from_cov(mean: Vec<f64>, cov: &Mat, k: usize) -> Result<Self, LinalgError> {
+        let n = cov.rows();
+        if k >= n {
+            return Self::full_from_cov(mean, cov);
+        }
+        let (spectrum, info) = Spectrum::partial_of(cov, k, PARTIAL_SEED)?;
+        if !info.converged {
+            return Self::full_from_cov(mean, cov);
+        }
+        Ok(Pca {
+            mean,
+            spectrum,
+            strategy: FitStrategy::Partial,
+        })
+    }
+
+    /// Sizes (and, for variance fractions, escalates) a partial fit until
+    /// it can answer `request`, degrading to the oracle past `n/2`.
+    fn partial_for_request(
+        mean: Vec<f64>,
+        cov: &Mat,
+        request: AxisRequest,
+    ) -> Result<Self, LinalgError> {
+        let n = cov.rows();
+        match request {
+            AxisRequest::Components(m) => {
+                Self::partial_from_cov(mean, cov, (m + 1 + PARTIAL_MARGIN).min(n))
+            }
+            AxisRequest::VarianceFraction(f) => {
+                if !f.is_finite() || f <= 0.0 || f >= 1.0 {
+                    return Err(LinalgError::Domain {
+                        what: "variance fraction must be finite and lie strictly inside (0, 1)",
+                    });
+                }
+                let mut k = PARTIAL_VF_INITIAL_K.min(n);
+                loop {
+                    if k >= n / 2 || k >= n {
+                        return Self::full_from_cov(mean, cov);
+                    }
+                    let fitted = Self::partial_from_cov(mean.clone(), cov, k)?;
+                    // A non-convergence fallback inside partial_from_cov
+                    // already produced the complete oracle spectrum —
+                    // escalating further would only repeat dense solves.
+                    if fitted.strategy == FitStrategy::Full {
+                        return Ok(fitted);
+                    }
+                    match fitted.spectrum.dims_for_variance(f) {
+                        // The projection needs the resolved dimension's
+                        // axes; escalation re-fits when the answer sits at
+                        // the very edge of the known spectrum.
+                        Some(d) if d < k => return Ok(fitted),
+                        _ => k *= 2,
+                    }
+                }
+            }
+        }
     }
 
     /// Number of variables (columns of the fitted data).
@@ -160,11 +453,11 @@ impl Pca {
         self.mean.len()
     }
 
-    /// Number of principal axes the model carries: `dim()` for the
-    /// covariance and moments paths, the data's numerical rank for the
-    /// Gram path. Projections require `m <= n_axes()`.
+    /// Number of principal axes the model carries: `dim()` for the full
+    /// and moments paths, the data's numerical rank for the Gram path,
+    /// `k` for the partial path. Projections require `m <= n_axes()`.
     pub fn n_axes(&self) -> usize {
-        self.eigen.vectors.cols()
+        self.spectrum.n_axes()
     }
 
     /// The per-column means removed before analysis.
@@ -172,25 +465,64 @@ impl Pca {
         &self.mean
     }
 
-    /// All eigenvalues of the sample covariance, descending.
+    /// The eigenvalues the model knows exactly, descending: the full
+    /// spectrum for the full, moments, and Gram paths, the leading `k`
+    /// for the partial path (whose *power sums* still cover the full
+    /// spectrum — see [`spectrum`](Self::spectrum)).
     pub fn eigenvalues(&self) -> &[f64] {
-        &self.eigen.values
+        self.spectrum.values()
+    }
+
+    /// The fitted [`Spectrum`]: leading eigenpairs plus exact full-spectrum
+    /// power sums.
+    pub fn spectrum(&self) -> &Spectrum {
+        &self.spectrum
+    }
+
+    /// The engine that actually produced this model (never
+    /// [`FitStrategy::Auto`]; a partial fit that fell back to the dense
+    /// solve reports [`FitStrategy::Full`]).
+    pub fn strategy(&self) -> FitStrategy {
+        self.strategy
+    }
+
+    /// `tr C`: total variance over the full spectrum (exact on every path).
+    pub fn total_variance(&self) -> f64 {
+        self.spectrum.total_variance()
+    }
+
+    /// Residual power sums `φ₁, φ₂, φ₃` past the leading `m` components —
+    /// the exact input of the Q-statistic threshold, on every fit path.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::Domain`] if `m >= dim()` or `m` exceeds a partial
+    /// spectrum's known prefix.
+    pub fn residual_power_sums(&self, m: usize) -> Result<ResidualPowerSums, LinalgError> {
+        self.spectrum.residual_power_sums(m)
     }
 
     /// The orthonormal principal axes (one per column, aligned with
     /// [`eigenvalues`](Self::eigenvalues)).
     pub fn components(&self) -> &Mat {
-        &self.eigen.vectors
+        self.spectrum.vectors()
     }
 
     /// Fraction of variance explained by the leading `m` components.
     pub fn explained_variance_ratio(&self, m: usize) -> f64 {
-        self.eigen.explained(m)
+        self.spectrum.explained(m)
     }
 
     /// Smallest component count capturing at least `fraction` of variance.
+    ///
+    /// Saturates at [`dim`](Self::dim) when the fraction is unreachable —
+    /// including the partial-path case where the answer lies beyond the
+    /// known spectrum (the fit dispatcher sizes partial fits so that a
+    /// model it returns always resolves its own request).
     pub fn dims_for_variance(&self, fraction: f64) -> usize {
-        self.eigen.dims_for_variance(fraction)
+        self.spectrum
+            .dims_for_variance(fraction)
+            .unwrap_or_else(|| self.dim())
     }
 
     /// Centers `x` and projects it onto the leading `m` principal axes,
@@ -199,7 +531,7 @@ impl Pca {
     /// # Errors
     ///
     /// [`LinalgError::ShapeMismatch`] if `x.len() != self.dim()`;
-    /// [`LinalgError::Domain`] if `m > self.dim()`.
+    /// [`LinalgError::Domain`] if `m > self.n_axes()`.
     pub fn project(&self, x: &[f64], m: usize) -> Result<Vec<f64>, LinalgError> {
         self.check(x, m)?;
         let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(v, mu)| v - mu).collect();
@@ -215,7 +547,7 @@ impl Pca {
             if ci == 0.0 {
                 continue;
             }
-            for (s, &vij) in scores.iter_mut().zip(&self.eigen.vectors.row(i)[..m]) {
+            for (s, &vij) in scores.iter_mut().zip(&self.spectrum.vectors().row(i)[..m]) {
                 *s += ci * vij;
             }
         }
@@ -235,7 +567,7 @@ impl Pca {
         let scores = self.scores_of_centered(&centered, m);
         let mut hat = vec![0.0; self.dim()];
         for (i, h) in hat.iter_mut().enumerate() {
-            *h = dot(&scores, &self.eigen.vectors.row(i)[..m]);
+            *h = dot(&scores, &self.spectrum.vectors().row(i)[..m]);
         }
         Ok(hat)
     }
@@ -275,6 +607,37 @@ impl Pca {
     }
 }
 
+/// Whether the Gram path's a-priori rank bound (`rank ≤ t − 1`) can
+/// support the request. Fixed requests need `m` backprojectable axes;
+/// variance fractions always resolve (the Gram spectrum is complete).
+fn gram_supports(t: usize, request: AxisRequest) -> bool {
+    match request {
+        AxisRequest::Components(m) => t >= m + 2,
+        AxisRequest::VarianceFraction(_) => true,
+    }
+}
+
+/// Whether a *fitted* Gram model actually carries the axes the request
+/// needs — the a-posteriori check behind [`gram_supports`], which only
+/// knew the row count, not the data's numerical rank.
+fn gram_delivers(gram: &Pca, request: AxisRequest) -> bool {
+    match request {
+        AxisRequest::Components(m) => gram.n_axes() >= m,
+        // A complete spectrum resolves any fraction within its own rank.
+        AxisRequest::VarianceFraction(_) => true,
+    }
+}
+
+/// Whether a partial fit is worth dispatching to for this width/request.
+fn partial_profitable(n: usize, request: AxisRequest) -> bool {
+    match request {
+        AxisRequest::Components(m) => {
+            (m + 1 + PARTIAL_MARGIN).saturating_mul(PARTIAL_MIN_ADVANTAGE) <= n
+        }
+        AxisRequest::VarianceFraction(_) => n >= PARTIAL_VF_MIN_COLS,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +655,16 @@ mod tests {
                 _ => 0.5 * t - 2.0,
             };
             base + noise * (rng.random::<f64>() - 0.5)
+        })
+    }
+
+    /// Wide low-rank-plus-noise data for the partial/dispatch tests.
+    fn wide_data(t: usize, n: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gains: Vec<f64> = (0..n).map(|_| 0.5 + rng.random::<f64>()).collect();
+        Mat::from_fn(t, n, |i, j| {
+            let phase = i as f64 / 50.0 * std::f64::consts::TAU;
+            gains[j] * (3.0 + phase.sin()) + 0.05 * (rng.random::<f64>() - 0.5)
         })
     }
 
@@ -408,6 +781,111 @@ mod tests {
     }
 
     #[test]
+    fn partial_path_matches_full_path() {
+        // Tall-and-wide: the partial path's natural habitat.
+        let x = wide_data(120, 60, 21);
+        let full = Pca::fit(&x).unwrap();
+        let partial = Pca::fit_partial(&x, 8).unwrap();
+        assert_eq!(partial.strategy(), FitStrategy::Partial);
+        assert_eq!(partial.n_axes(), 8);
+        assert_eq!(partial.dim(), 60);
+        for (a, b) in partial.eigenvalues().iter().zip(full.eigenvalues()) {
+            assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        // Exact full-spectrum invariants survive the truncation.
+        assert!(
+            (partial.total_variance() - full.total_variance()).abs()
+                < 1e-9 * (1.0 + full.total_variance())
+        );
+        for m in [0usize, 3, 7] {
+            let pf = full.residual_power_sums(m).unwrap();
+            let pp = partial.residual_power_sums(m).unwrap();
+            let scale = 1.0 + full.total_variance();
+            assert!((pf.phi1 - pp.phi1).abs() < 1e-8 * scale, "m={m}");
+            // Scores agree wherever both models can project.
+            let a = full.spe(x.row(11), m).unwrap();
+            let b = partial.spe(x.row(11), m).unwrap();
+            assert!((a - b).abs() < 1e-8 * (1.0 + a), "{a} vs {b} at m={m}");
+        }
+        // Projections beyond the partial axes are refused, not wrong.
+        assert!(partial.project(x.row(0), 9).is_err());
+        assert!(full.project(x.row(0), 9).is_ok());
+    }
+
+    #[test]
+    fn auto_dispatch_picks_shape_appropriate_engines() {
+        // Wide: Gram.
+        let wide = wide_data(30, 80, 22);
+        let pca = Pca::fit_with(&wide, FitStrategy::Auto, AxisRequest::Components(5)).unwrap();
+        assert_eq!(pca.strategy(), FitStrategy::Gram);
+        // Tall and wide with a thin request: Partial.
+        let tall = wide_data(150, 64, 23);
+        let pca = Pca::fit_with(&tall, FitStrategy::Auto, AxisRequest::Components(5)).unwrap();
+        assert_eq!(pca.strategy(), FitStrategy::Partial);
+        // Tall and narrow: Full.
+        let narrow = wide_data(150, 8, 24);
+        let pca = Pca::fit_with(&narrow, FitStrategy::Auto, AxisRequest::Components(5)).unwrap();
+        assert_eq!(pca.strategy(), FitStrategy::Full);
+        // Wide but with too few rows to support the request: not Gram.
+        let stub = wide_data(5, 80, 25);
+        let pca = Pca::fit_with(&stub, FitStrategy::Auto, AxisRequest::Components(10)).unwrap();
+        assert_ne!(pca.strategy(), FitStrategy::Gram);
+        assert!(pca.n_axes() >= 10);
+    }
+
+    #[test]
+    fn auto_falls_back_when_gram_rank_cannot_deliver() {
+        // Wide but exactly rank-2 data with a 10-axis request: the row
+        // count passes the a-priori Gram bound, yet the numerical rank
+        // supports only 2 axes. Auto must degrade to the dense oracle
+        // (which the old default path was) rather than error.
+        let mut rng = StdRng::seed_from_u64(31);
+        let (t, n) = (30usize, 80usize);
+        let coeffs: Vec<(f64, f64)> = (0..t)
+            .map(|_| (rng.random::<f64>() - 0.5, rng.random::<f64>() - 0.5))
+            .collect();
+        let loads: Vec<(f64, f64)> = (0..n)
+            .map(|_| (2.0 * rng.random::<f64>(), 2.0 * rng.random::<f64>()))
+            .collect();
+        let x = Mat::from_fn(t, n, |i, j| {
+            coeffs[i].0 * loads[j].0 + coeffs[i].1 * loads[j].1
+        });
+        let auto = Pca::fit_with(&x, FitStrategy::Auto, AxisRequest::Components(10)).unwrap();
+        assert_eq!(auto.strategy(), FitStrategy::Full);
+        assert!(auto.n_axes() >= 10);
+        // A forced Gram fit on the same data honestly reports its rank.
+        let gram = Pca::fit_gram(&x).unwrap();
+        assert!(gram.n_axes() < 10, "rank-2 data has no 10 Gram axes");
+    }
+
+    #[test]
+    fn forced_partial_degrades_gracefully() {
+        // A request spanning most of a narrow spectrum: partial falls back
+        // to the dense solve instead of a worse-than-full iteration.
+        let x = wide_data(60, 6, 26);
+        let pca = Pca::fit_with(&x, FitStrategy::Partial, AxisRequest::Components(4)).unwrap();
+        assert_eq!(pca.strategy(), FitStrategy::Full);
+        assert_eq!(pca.n_axes(), 6);
+    }
+
+    #[test]
+    fn variance_fraction_request_escalates_to_an_answer() {
+        let x = wide_data(200, 300, 27);
+        let pca =
+            Pca::fit_with(&x, FitStrategy::Partial, AxisRequest::VarianceFraction(0.9)).unwrap();
+        let d = pca.dims_for_variance(0.9);
+        assert!(d >= 1 && d <= pca.n_axes(), "d={d} axes={}", pca.n_axes());
+        assert!(pca.explained_variance_ratio(d) >= 0.9);
+        // Invalid fractions are rejected at the dispatcher.
+        for bad in [0.0, 1.0, -1.0, f64::NAN] {
+            assert!(
+                Pca::fit_with(&x, FitStrategy::Partial, AxisRequest::VarianceFraction(bad))
+                    .is_err()
+            );
+        }
+    }
+
+    #[test]
     fn moments_path_matches_batch_fit() {
         let x = line_data(150, 0.2, 9);
         let batch = Pca::fit(&x).unwrap();
@@ -424,6 +902,26 @@ mod tests {
             let b = streamed.spe(probe, m).unwrap();
             assert!((a - b).abs() < 1e-8 * (1.0 + a));
         }
+    }
+
+    #[test]
+    fn moments_strategy_dispatch() {
+        let x = wide_data(150, 64, 28);
+        let acc = crate::MomentAccumulator::from_rows(&x);
+        let auto = Pca::fit_from_moments_with(&acc, FitStrategy::Auto, AxisRequest::Components(5))
+            .unwrap();
+        assert_eq!(auto.strategy(), FitStrategy::Partial);
+        let full = Pca::fit_from_moments_with(&acc, FitStrategy::Full, AxisRequest::Components(5))
+            .unwrap();
+        assert_eq!(full.strategy(), FitStrategy::Full);
+        for (a, b) in auto.eigenvalues().iter().zip(full.eigenvalues()) {
+            assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()));
+        }
+        // Gram needs raw rows.
+        assert!(
+            Pca::fit_from_moments_with(&acc, FitStrategy::Gram, AxisRequest::Components(5))
+                .is_err()
+        );
     }
 
     #[test]
@@ -447,5 +945,8 @@ mod tests {
         assert!(pca.project(&[1.0, 2.0, 3.0], 4).is_err());
         assert!(Pca::fit(&Mat::zeros(1, 3)).is_err());
         assert!(Pca::fit(&Mat::zeros(5, 0)).is_err());
+        assert!(Pca::fit_partial(&x, 0).is_err());
+        assert!(Pca::fit_partial(&x, 4).is_err());
+        assert!(Pca::fit_partial(&Mat::zeros(5, 0), 1).is_err());
     }
 }

@@ -1,8 +1,8 @@
 //! The single-way subspace method (Lakhina et al., SIGCOMM 2004).
 
-use crate::qstat::q_statistic_threshold;
+use crate::qstat::{empirical_quantile, q_threshold_from_power_sums, ThresholdPolicy};
 use crate::SubspaceError;
-use entromine_linalg::{Mat, MomentAccumulator, Pca};
+use entromine_linalg::{AxisRequest, FitStrategy, Mat, MomentAccumulator, Pca};
 
 /// How the dimension of the normal subspace is chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +24,29 @@ impl Default for DimSelection {
     }
 }
 
+impl DimSelection {
+    /// Rejects a non-finite or out-of-`(0, 1)` variance fraction before
+    /// any fitting work happens.
+    fn validate(self) -> Result<(), SubspaceError> {
+        if let DimSelection::VarianceFraction(f) = self {
+            if !f.is_finite() || f <= 0.0 || f >= 1.0 {
+                return Err(SubspaceError::BadInput(
+                    "variance fraction must be finite and lie strictly inside (0, 1)",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The axis request this selection poses to the fit dispatcher.
+    fn request(self) -> AxisRequest {
+        match self {
+            DimSelection::Fixed(m) => AxisRequest::Components(m),
+            DimSelection::VarianceFraction(f) => AxisRequest::VarianceFraction(f),
+        }
+    }
+}
+
 /// One detection: a time bin whose squared residual exceeded the threshold.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Detection {
@@ -40,27 +63,61 @@ pub struct Detection {
 /// Rows are timepoints; columns are the correlated variables (OD-flow byte
 /// counts, packet counts, or unfolded entropy). The leading `m` principal
 /// axes span the normal subspace; everything else is residual.
+///
+/// Matrix fits additionally **calibrate** the model: the training rows'
+/// SPE order statistics are retained (sorted), which is what the
+/// [`ThresholdPolicy::Empirical`] threshold consumes. Streamed fits have
+/// no rows to score and stay uncalibrated until
+/// [`calibrate_with_rows`](Self::calibrate_with_rows) runs.
 #[derive(Debug, Clone)]
 pub struct SubspaceModel {
     pca: Pca,
     m: usize,
+    /// Sorted (ascending) SPEs of the training rows, when known.
+    calibration: Option<Vec<f64>>,
 }
 
 impl SubspaceModel {
-    /// Fits the model to `x` and selects the normal-subspace dimension.
+    /// Fits the model to `x` and selects the normal-subspace dimension,
+    /// with the fit engine chosen by [`FitStrategy::Auto`] — wide
+    /// training windows dispatch to the Gram path, thin requests against
+    /// wide covariances to the partial-spectrum path, everything else to
+    /// the dense oracle. Thresholds agree across engines to round-off.
     ///
     /// # Errors
     ///
     /// Fails on degenerate input (fewer than two rows, zero columns), on a
     /// non-finite or out-of-`(0, 1)` variance fraction, or if the
-    /// requested dimension does not leave a non-empty residual space.
+    /// requested dimension does not leave a non-empty residual space (or
+    /// exceeds the axes the chosen engine can support).
     pub fn fit(x: &Mat, dim: DimSelection) -> Result<Self, SubspaceError> {
+        Self::fit_with(x, dim, FitStrategy::Auto)
+    }
+
+    /// Like [`fit`](Self::fit) with an explicit engine choice. Use
+    /// [`FitStrategy::Full`] to force the dense reference oracle.
+    pub fn fit_with(
+        x: &Mat,
+        dim: DimSelection,
+        strategy: FitStrategy,
+    ) -> Result<Self, SubspaceError> {
+        dim.validate()?;
         if x.rows() < 2 {
             return Err(SubspaceError::BadInput(
                 "need at least two timepoints to model variation",
             ));
         }
-        Self::from_pca(Pca::fit(x)?, dim)
+        let pca = Pca::fit_with(x, strategy, dim.request())?;
+        let mut model = Self::from_pca(pca, dim)?;
+        // Matrix fits calibrate for free: one O(t·n·m) scoring pass over
+        // data already in hand.
+        let mut spes = Vec::with_capacity(x.rows());
+        for row in x.row_iter() {
+            spes.push(model.spe(row)?);
+        }
+        spes.sort_by(|a, b| a.partial_cmp(b).expect("SPEs are finite"));
+        model.calibration = Some(spes);
+        Ok(model)
     }
 
     /// Fits the model from streamed moments instead of a materialized
@@ -70,6 +127,10 @@ impl SubspaceModel {
     /// model `fit` would have produced (up to round-off in the streamed
     /// covariance).
     ///
+    /// The streamed model is **uncalibrated** (no rows were retained):
+    /// Jackson–Mudholkar thresholds work immediately, the empirical policy
+    /// needs a [`calibrate_with_rows`](Self::calibrate_with_rows) pass.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`fit`](Self::fit); fewer than two absorbed rows
@@ -78,28 +139,36 @@ impl SubspaceModel {
         moments: &MomentAccumulator,
         dim: DimSelection,
     ) -> Result<Self, SubspaceError> {
+        Self::fit_from_moments_with(moments, dim, FitStrategy::Auto)
+    }
+
+    /// Like [`fit_from_moments`](Self::fit_from_moments) with an explicit
+    /// engine choice. The Gram engine needs raw rows and is rejected here.
+    pub fn fit_from_moments_with(
+        moments: &MomentAccumulator,
+        dim: DimSelection,
+        strategy: FitStrategy,
+    ) -> Result<Self, SubspaceError> {
+        dim.validate()?;
         if moments.count() < 2 {
             return Err(SubspaceError::BadInput(
                 "need at least two timepoints to model variation",
             ));
         }
-        Self::from_pca(Pca::fit_from_moments(moments)?, dim)
+        Self::from_pca(
+            Pca::fit_from_moments_with(moments, strategy, dim.request())?,
+            dim,
+        )
     }
 
     /// Shared back half of every fit path: dimension selection and
     /// residual-space validation over an already-fitted PCA.
     fn from_pca(pca: Pca, dim: DimSelection) -> Result<Self, SubspaceError> {
+        dim.validate()?;
         let n = pca.dim();
         let m = match dim {
             DimSelection::Fixed(m) => m,
-            DimSelection::VarianceFraction(f) => {
-                if !f.is_finite() || f <= 0.0 || f >= 1.0 {
-                    return Err(SubspaceError::BadInput(
-                        "variance fraction must be finite and lie strictly inside (0, 1)",
-                    ));
-                }
-                pca.dims_for_variance(f)
-            }
+            DimSelection::VarianceFraction(f) => pca.dims_for_variance(f),
         };
         if m >= n {
             return Err(SubspaceError::BadDimension {
@@ -107,7 +176,51 @@ impl SubspaceModel {
                 available: n,
             });
         }
-        Ok(SubspaceModel { pca, m })
+        // Rank-limited engines (Gram on short windows, partial spectra)
+        // must actually carry the axes the projection needs.
+        if m > pca.n_axes() {
+            return Err(SubspaceError::BadDimension {
+                requested: m,
+                available: pca.n_axes(),
+            });
+        }
+        Ok(SubspaceModel {
+            pca,
+            m,
+            calibration: None,
+        })
+    }
+
+    /// Supplies (or replaces) the empirical calibration of a streamed fit
+    /// by scoring an iterator of training rows — the second pass a
+    /// streaming deployment runs when it wants
+    /// [`ThresholdPolicy::Empirical`] thresholds.
+    ///
+    /// # Errors
+    ///
+    /// `BadInput` when `rows` is empty; shape errors from scoring.
+    pub fn calibrate_with_rows<'r>(
+        &mut self,
+        rows: impl IntoIterator<Item = &'r [f64]>,
+    ) -> Result<(), SubspaceError> {
+        let mut spes = Vec::new();
+        for row in rows {
+            spes.push(self.spe(row)?);
+        }
+        if spes.is_empty() {
+            return Err(SubspaceError::BadInput(
+                "empirical calibration needs at least one training row",
+            ));
+        }
+        spes.sort_by(|a, b| a.partial_cmp(b).expect("SPEs are finite"));
+        self.calibration = Some(spes);
+        Ok(())
+    }
+
+    /// The sorted training-SPE sample behind the empirical threshold, if
+    /// the model is calibrated.
+    pub fn calibration(&self) -> Option<&[f64]> {
+        self.calibration.as_deref()
     }
 
     /// Dimension of the normal subspace.
@@ -140,9 +253,51 @@ impl SubspaceModel {
         Ok(self.pca.residual(row, self.m)?)
     }
 
-    /// The Q-statistic threshold `δ²_α` for this model.
+    /// The detection threshold `δ²_α` for this model under the default
+    /// (Jackson–Mudholkar) policy.
     pub fn threshold(&self, alpha: f64) -> Result<f64, SubspaceError> {
-        q_statistic_threshold(self.pca.eigenvalues(), self.m, alpha)
+        self.threshold_with(alpha, ThresholdPolicy::JacksonMudholkar)
+    }
+
+    /// The detection threshold `δ²_α` under an explicit
+    /// [`ThresholdPolicy`].
+    ///
+    /// The Jackson–Mudholkar policy consumes the model's residual power
+    /// sums — exact on every fit engine, including partial spectra that
+    /// never saw the residual eigenvalues. The empirical policy reads the
+    /// `α` order statistic of the training-SPE calibration.
+    ///
+    /// # Errors
+    ///
+    /// `BadAlpha` outside `(0, 1)`; [`SubspaceError::NotCalibrated`] for
+    /// the empirical policy on an uncalibrated (streamed, uncalibrated)
+    /// model.
+    pub fn threshold_with(
+        &self,
+        alpha: f64,
+        policy: ThresholdPolicy,
+    ) -> Result<f64, SubspaceError> {
+        match policy {
+            ThresholdPolicy::JacksonMudholkar => {
+                let sums = self.pca.residual_power_sums(self.m).map_err(|_| {
+                    SubspaceError::BadDimension {
+                        requested: self.m,
+                        available: self.pca.dim(),
+                    }
+                })?;
+                q_threshold_from_power_sums(&sums, alpha)
+            }
+            ThresholdPolicy::Empirical => {
+                if !(alpha > 0.0 && alpha < 1.0) {
+                    return Err(SubspaceError::BadAlpha(alpha));
+                }
+                let sample = self
+                    .calibration
+                    .as_deref()
+                    .ok_or(SubspaceError::NotCalibrated)?;
+                empirical_quantile(sample, alpha)
+            }
+        }
     }
 
     /// Hotelling's T² statistic of one observation: the variance-weighted
@@ -159,7 +314,7 @@ impl SubspaceModel {
     /// Axes with (numerically) zero variance are skipped.
     pub fn t2(&self, row: &[f64]) -> Result<f64, SubspaceError> {
         let scores = self.pca.project(row, self.m)?;
-        let total = self.pca.eigenvalues().iter().sum::<f64>();
+        let total = self.pca.total_variance();
         let floor = 1e-12 * total.max(1e-300);
         Ok(scores
             .iter()
@@ -200,9 +355,18 @@ impl SubspaceModel {
     /// A scoring head with the Q-threshold for `alpha` precomputed: the
     /// artifact the fit phase hands to the streaming score path.
     pub fn scorer(&self, alpha: f64) -> Result<RowScorer<'_>, SubspaceError> {
+        self.scorer_with(alpha, ThresholdPolicy::JacksonMudholkar)
+    }
+
+    /// A scoring head under an explicit [`ThresholdPolicy`].
+    pub fn scorer_with(
+        &self,
+        alpha: f64,
+        policy: ThresholdPolicy,
+    ) -> Result<RowScorer<'_>, SubspaceError> {
         Ok(RowScorer {
             model: self,
-            threshold: self.threshold(alpha)?,
+            threshold: self.threshold_with(alpha, policy)?,
         })
     }
 
@@ -413,6 +577,94 @@ mod tests {
         // Wrong row width at evaluation time.
         let model = SubspaceModel::fit(&x, DimSelection::Fixed(2)).unwrap();
         assert!(model.spe(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn empirical_threshold_covers_its_training_window() {
+        let x = synthetic_traffic(500, 12, 0.5, 21);
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(3)).unwrap();
+        assert_eq!(model.calibration().map(<[f64]>::len), Some(500));
+        for alpha in [0.95, 0.99] {
+            let t = model
+                .threshold_with(alpha, ThresholdPolicy::Empirical)
+                .unwrap();
+            let exceed = x
+                .row_iter()
+                .filter(|row| model.spe(row).unwrap() > t)
+                .count() as f64
+                / 500.0;
+            // By construction the training exceedance tracks 1 - alpha.
+            assert!(
+                (exceed - (1.0 - alpha)).abs() < 0.01,
+                "alpha {alpha}: training exceedance {exceed}"
+            );
+        }
+        // Monotone in alpha, like the analytic policy.
+        let lo = model
+            .threshold_with(0.9, ThresholdPolicy::Empirical)
+            .unwrap();
+        let hi = model
+            .threshold_with(0.999, ThresholdPolicy::Empirical)
+            .unwrap();
+        assert!(lo <= hi);
+        assert!(model
+            .threshold_with(1.5, ThresholdPolicy::Empirical)
+            .is_err());
+    }
+
+    #[test]
+    fn streamed_fit_needs_explicit_calibration_for_empirical() {
+        let x = synthetic_traffic(300, 10, 0.3, 22);
+        let mut acc = entromine_linalg::MomentAccumulator::new(10);
+        for row in x.row_iter() {
+            acc.push(row).unwrap();
+        }
+        let mut model = SubspaceModel::fit_from_moments(&acc, DimSelection::Fixed(3)).unwrap();
+        assert!(model.calibration().is_none());
+        // JM works immediately; the empirical policy refuses honestly...
+        assert!(model.threshold(0.999).is_ok());
+        assert!(matches!(
+            model.threshold_with(0.999, ThresholdPolicy::Empirical),
+            Err(SubspaceError::NotCalibrated)
+        ));
+        // ...until a calibration pass replays the training rows.
+        model.calibrate_with_rows(x.row_iter()).unwrap();
+        let t = model
+            .threshold_with(0.99, ThresholdPolicy::Empirical)
+            .unwrap();
+        assert!(t.is_finite() && t > 0.0);
+        // The streamed-then-calibrated threshold matches the matrix fit's.
+        let batch = SubspaceModel::fit(&x, DimSelection::Fixed(3)).unwrap();
+        let tb = batch
+            .threshold_with(0.99, ThresholdPolicy::Empirical)
+            .unwrap();
+        assert!((t - tb).abs() < 1e-6 * (1.0 + tb), "{t} vs {tb}");
+        // Empty calibration input is rejected.
+        let mut fresh = SubspaceModel::fit_from_moments(&acc, DimSelection::Fixed(3)).unwrap();
+        assert!(fresh.calibrate_with_rows(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn strategy_fit_paths_agree_on_thresholds() {
+        let x = synthetic_traffic(200, 48, 0.4, 23);
+        let dim = DimSelection::Fixed(4);
+        let full = SubspaceModel::fit_with(&x, dim, FitStrategy::Full).unwrap();
+        let partial = SubspaceModel::fit_with(&x, dim, FitStrategy::Partial).unwrap();
+        let gram = SubspaceModel::fit_with(&x, dim, FitStrategy::Gram).unwrap();
+        assert_eq!(partial.pca().strategy(), FitStrategy::Partial);
+        let oracle = full.threshold(0.999).unwrap();
+        for (name, model) in [("partial", &partial), ("gram", &gram)] {
+            let t = model.threshold(0.999).unwrap();
+            assert!(
+                (t - oracle).abs() < 1e-8 * (1.0 + oracle),
+                "{name}: {t} vs {oracle}"
+            );
+            // Same SPEs, so same detections.
+            let probe = x.row(17);
+            let a = full.spe(probe).unwrap();
+            let b = model.spe(probe).unwrap();
+            assert!((a - b).abs() < 1e-8 * (1.0 + a), "{name}: spe {a} vs {b}");
+        }
     }
 
     #[test]

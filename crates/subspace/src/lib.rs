@@ -46,4 +46,9 @@ pub use detector::{Detection, DimSelection, RowScorer, SubspaceModel};
 pub use error::SubspaceError;
 pub use ident::FlowContribution;
 pub use multiway::{MultiwayFitter, MultiwayModel, MultiwayScorer};
-pub use qstat::q_statistic_threshold;
+pub use qstat::{
+    empirical_quantile, q_statistic_threshold, q_threshold_from_power_sums, ThresholdPolicy,
+};
+
+/// Re-export of the fit-engine selector threaded through every fit path.
+pub use entromine_linalg::FitStrategy;

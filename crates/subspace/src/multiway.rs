@@ -8,9 +8,10 @@
 
 use crate::detector::{Detection, DimSelection, SubspaceModel};
 use crate::ident::{identify_greedy, FlowContribution};
+use crate::qstat::ThresholdPolicy;
 use crate::SubspaceError;
 use entromine_entropy::EntropyTensor;
-use entromine_linalg::{Mat, MomentAccumulator};
+use entromine_linalg::{FitStrategy, Mat, MomentAccumulator};
 
 /// A fitted multiway subspace model over an entropy tensor.
 #[derive(Debug, Clone)]
@@ -32,8 +33,19 @@ impl MultiwayModel {
     /// the square root of the energy (the Frobenius norm), after which each
     /// submatrix has energy exactly 1.
     pub fn fit(tensor: &EntropyTensor, dim: DimSelection) -> Result<Self, SubspaceError> {
+        Self::fit_with(tensor, dim, FitStrategy::Auto)
+    }
+
+    /// Like [`fit`](Self::fit) with an explicit fit engine (the unfolded
+    /// `t × 4p` matrix is the widest in the pipeline — at Geant width the
+    /// Gram and partial-spectrum engines are what make refits routine).
+    pub fn fit_with(
+        tensor: &EntropyTensor,
+        dim: DimSelection,
+        strategy: FitStrategy,
+    ) -> Result<Self, SubspaceError> {
         let all: Vec<usize> = (0..tensor.n_bins()).collect();
-        Self::fit_on_rows(tensor, dim, &all)
+        Self::fit_on_rows_with(tensor, dim, &all, strategy)
     }
 
     /// Fits the model using only the given time bins.
@@ -46,6 +58,16 @@ impl MultiwayModel {
         tensor: &EntropyTensor,
         dim: DimSelection,
         rows: &[usize],
+    ) -> Result<Self, SubspaceError> {
+        Self::fit_on_rows_with(tensor, dim, rows, FitStrategy::Auto)
+    }
+
+    /// [`fit_on_rows`](Self::fit_on_rows) with an explicit fit engine.
+    pub fn fit_on_rows_with(
+        tensor: &EntropyTensor,
+        dim: DimSelection,
+        rows: &[usize],
+        strategy: FitStrategy,
     ) -> Result<Self, SubspaceError> {
         let p = tensor.n_flows();
         if p == 0 {
@@ -79,7 +101,7 @@ impl MultiwayModel {
                 }
             }
         }
-        let model = SubspaceModel::fit(&unfolded, dim)?;
+        let model = SubspaceModel::fit_with(&unfolded, dim, strategy)?;
         Ok(MultiwayModel {
             model,
             divisors,
@@ -131,9 +153,46 @@ impl MultiwayModel {
         self.model.residual(&normalized)
     }
 
-    /// The Q-statistic threshold `δ²_α`.
+    /// The detection threshold `δ²_α` (Jackson–Mudholkar policy).
     pub fn threshold(&self, alpha: f64) -> Result<f64, SubspaceError> {
         self.model.threshold(alpha)
+    }
+
+    /// The detection threshold under an explicit [`ThresholdPolicy`].
+    /// The empirical policy reads the inner model's training-SPE
+    /// calibration, which matrix fits populate automatically (in
+    /// normalized entropy units — the same units every scored row is
+    /// normalized into).
+    pub fn threshold_with(
+        &self,
+        alpha: f64,
+        policy: ThresholdPolicy,
+    ) -> Result<f64, SubspaceError> {
+        self.model.threshold_with(alpha, policy)
+    }
+
+    /// Calibrates the model for [`ThresholdPolicy::Empirical`] from raw
+    /// (un-normalized) unfolded training rows — the post-hoc pass a
+    /// streamed fit runs over replayed training bins.
+    ///
+    /// # Errors
+    ///
+    /// `BadInput` when `rows` is empty or a row is not `4p` long.
+    pub fn calibrate_with_raw_rows<'r>(
+        &mut self,
+        rows: impl IntoIterator<Item = &'r [f64]>,
+    ) -> Result<(), SubspaceError> {
+        let mut normalized = Vec::new();
+        for raw in rows {
+            normalized.push(self.normalize_row(raw)?);
+        }
+        if normalized.is_empty() {
+            return Err(SubspaceError::BadInput(
+                "empirical calibration needs at least one training row",
+            ));
+        }
+        self.model
+            .calibrate_with_rows(normalized.iter().map(Vec::as_slice))
     }
 
     /// Hotelling's T² of a raw unfolded row (see
@@ -281,10 +340,17 @@ pub struct MultiwayFitter {
     energies: [f64; 4],
     n_flows: usize,
     dim: DimSelection,
+    strategy: FitStrategy,
 }
 
 impl MultiwayFitter {
     /// A fitter for `n_flows` OD flows with the given dimension selection.
+    ///
+    /// The eventual eigensolve uses [`FitStrategy::Auto`] — which, for
+    /// wide accumulators and thin requests, is the partial-spectrum
+    /// engine: exactly the frequent-refit path the streaming pipeline
+    /// needs at scale. Use [`with_strategy`](Self::with_strategy) to pin
+    /// an engine (the Gram engine is unavailable without raw rows).
     ///
     /// # Errors
     ///
@@ -298,7 +364,14 @@ impl MultiwayFitter {
             energies: [0.0; 4],
             n_flows,
             dim,
+            strategy: FitStrategy::Auto,
         })
+    }
+
+    /// Pins the fit engine used by [`finish`](Self::finish).
+    pub fn with_strategy(mut self, strategy: FitStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Number of rows absorbed so far.
@@ -346,7 +419,7 @@ impl MultiwayFitter {
             }
         }
         self.moments.scale_cols(&scales)?;
-        let model = SubspaceModel::fit_from_moments(&self.moments, self.dim)?;
+        let model = SubspaceModel::fit_from_moments_with(&self.moments, self.dim, self.strategy)?;
         Ok(MultiwayModel {
             model,
             divisors,

@@ -1,4 +1,6 @@
-//! The Q-statistic detection threshold of Jackson & Mudholkar (1979).
+//! Detection thresholds for the squared prediction error.
+//!
+//! # The Q-statistic (Jackson & Mudholkar 1979)
 //!
 //! Given the eigenvalue spectrum `λ_1 >= λ_2 >= ... >= λ_n` of the sample
 //! covariance and a normal subspace of dimension `m`, the squared residual
@@ -12,11 +14,48 @@
 //! `h₀ = 1 - 2φ₁φ₃/(3φ₂²)`, and `c_α` is the `α` standard-normal quantile.
 //! This is the threshold the paper uses to turn a residual magnitude into a
 //! detection at a desired false-alarm rate (α = 0.995, 0.999 in §6).
+//!
+//! Crucially, the residual spectrum enters **only** through the power sums
+//! `φ₁, φ₂, φ₃` — which is why the partial-spectrum fit engine never needs
+//! the residual eigenvalues themselves (see
+//! [`Spectrum`](entromine_linalg::Spectrum)). The core entry point here is
+//! [`q_threshold_from_power_sums`]; [`q_statistic_threshold`] remains as a
+//! thin adapter over an explicit eigenvalue slice.
+//!
+//! # The empirical alternative
+//!
+//! The Jackson–Mudholkar formula assumes Gaussian residuals. Entropy
+//! residuals at small traffic scales are markedly heteroskedastic (Poisson
+//! sampling noise scales with rate), and the Gaussian threshold then
+//! *under-covers*: a clean training week can alarm on ~17% of its own bins
+//! at `α = 0.999`. [`ThresholdPolicy::Empirical`] sidesteps the
+//! distributional assumption entirely by calibrating `δ²_α` as the `α`
+//! order statistic of the *training-window SPE distribution* — by
+//! construction, a fraction `1 − α` of training bins exceeds it. Prefer it
+//! when training data is plentiful and residuals are visibly non-Gaussian;
+//! prefer Jackson–Mudholkar when the training window is short (an
+//! empirical `α = 0.999` quantile needs thousands of bins to be sharp) or
+//! when an analytic, model-derived threshold is required.
 
 use crate::SubspaceError;
 use entromine_linalg::stats::inv_norm_cdf;
+use entromine_linalg::ResidualPowerSums;
 
-/// Computes the Q-statistic threshold `δ²_α`.
+/// How a fitted model turns a confidence level `α` into an SPE threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThresholdPolicy {
+    /// The analytic Jackson–Mudholkar threshold from the residual power
+    /// sums — the paper's choice, exact under Gaussian residuals.
+    #[default]
+    JacksonMudholkar,
+    /// The `α` quantile of the training-window SPE order statistics —
+    /// assumption-free coverage of the training distribution itself.
+    /// Requires a calibrated model (matrix fits calibrate automatically;
+    /// streamed fits need an explicit calibration pass).
+    Empirical,
+}
+
+/// Computes the Q-statistic threshold `δ²_α` from an eigenvalue slice.
 ///
 /// * `eigenvalues` — full covariance spectrum, descending.
 /// * `m` — dimension of the normal subspace (`m < eigenvalues.len()`).
@@ -24,14 +63,9 @@ use entromine_linalg::stats::inv_norm_cdf;
 ///   `SPE > δ²_α`, giving false-alarm probability `1 - alpha` under the
 ///   null model.
 ///
-/// Degenerate spectra are handled conservatively:
-///
-/// * If the residual eigenvalues are all ~0 (the data is perfectly modeled
-///   by the normal subspace), the threshold is 0 — any measurable residual
-///   is anomalous.
-/// * If `h₀` is non-positive (possible for extremely heavy-tailed residual
-///   spectra), the threshold falls back to the first-order normal
-///   approximation `φ₁ + c_α·sqrt(2·φ₂)`.
+/// This is the historical entry point, kept as a thin adapter: it clamps
+/// the residual eigenvalues at zero (round-off from the solver), forms
+/// their power sums, and delegates to [`q_threshold_from_power_sums`].
 pub fn q_statistic_threshold(
     eigenvalues: &[f64],
     m: usize,
@@ -46,13 +80,34 @@ pub fn q_statistic_threshold(
             available: eigenvalues.len(),
         });
     }
+    q_threshold_from_power_sums(&ResidualPowerSums::from_slice(&eigenvalues[m..]), alpha)
+}
 
-    let residual = &eigenvalues[m..];
-    // Numerically tiny negative eigenvalues (round-off from the solver) are
-    // clamped to zero before the power sums.
-    let phi1: f64 = residual.iter().map(|&l| l.max(0.0)).sum();
-    let phi2: f64 = residual.iter().map(|&l| l.max(0.0).powi(2)).sum();
-    let phi3: f64 = residual.iter().map(|&l| l.max(0.0).powi(3)).sum();
+/// Computes the Q-statistic threshold `δ²_α` from residual power sums —
+/// the core of the detection threshold, consumed directly by the
+/// partial-spectrum fit path (which obtains exact `φ_i` from trace
+/// identities without ever holding the residual eigenvalues).
+///
+/// Degenerate inputs are handled conservatively:
+///
+/// * If the residual power sums are ~0 (the data is perfectly modeled
+///   by the normal subspace), the threshold is 0 — any measurable residual
+///   is anomalous.
+/// * If `h₀` is non-positive (possible for extremely heavy-tailed residual
+///   spectra), the threshold falls back to the first-order normal
+///   approximation `φ₁ + c_α·sqrt(2·φ₂)`.
+///
+/// # Errors
+///
+/// [`SubspaceError::BadAlpha`] unless `0 < alpha < 1`.
+pub fn q_threshold_from_power_sums(
+    sums: &ResidualPowerSums,
+    alpha: f64,
+) -> Result<f64, SubspaceError> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(SubspaceError::BadAlpha(alpha));
+    }
+    let (phi1, phi2, phi3) = (sums.phi1, sums.phi2, sums.phi3);
 
     if phi1 <= 0.0 || phi2 <= 0.0 {
         // Residual space carries no variance: any residual is anomalous.
@@ -76,6 +131,35 @@ pub fn q_statistic_threshold(
         return Ok(0.0);
     }
     Ok(phi1 * term.powf(1.0 / h0))
+}
+
+/// The `alpha` quantile of a **sorted ascending** SPE sample, by linear
+/// interpolation of the order statistics: the empirical threshold `δ²_α`.
+///
+/// A fraction `1 − alpha` of the calibration sample exceeds the returned
+/// value (up to interpolation), regardless of the residual distribution.
+///
+/// # Errors
+///
+/// [`SubspaceError::BadAlpha`] unless `0 < alpha < 1`;
+/// [`SubspaceError::BadInput`] on an empty sample.
+pub fn empirical_quantile(sorted_spe: &[f64], alpha: f64) -> Result<f64, SubspaceError> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(SubspaceError::BadAlpha(alpha));
+    }
+    let t = sorted_spe.len();
+    if t == 0 {
+        return Err(SubspaceError::BadInput(
+            "empirical threshold needs a non-empty calibration sample",
+        ));
+    }
+    let pos = alpha * (t - 1) as f64;
+    let lo = pos.floor() as usize;
+    if lo + 1 >= t {
+        return Ok(sorted_spe[t - 1]);
+    }
+    let frac = pos - lo as f64;
+    Ok(sorted_spe[lo] + frac * (sorted_spe[lo + 1] - sorted_spe[lo]))
 }
 
 #[cfg(test)]
@@ -122,6 +206,43 @@ mod tests {
     }
 
     #[test]
+    fn slice_adapter_equals_power_sum_core() {
+        // The adapter must be a pure repackaging: same inputs, same bits.
+        let eigs = [12.0f64, 6.0, 3.0, 1.5, 0.75, 0.3, 0.1];
+        for m in 0..6 {
+            for alpha in [0.5, 0.95, 0.999] {
+                let sums = ResidualPowerSums::from_slice(&eigs[m..]);
+                assert_eq!(
+                    q_statistic_threshold(&eigs, m, alpha).unwrap(),
+                    q_threshold_from_power_sums(&sums, alpha).unwrap(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn h0_fallback_branch_reached_and_finite() {
+        // One moderate residual eigenvalue plus a sea of tiny ones drives
+        // h₀ = 1 − 2φ₁φ₃/(3φ₂²) negative: φ₂, φ₃ ≈ 1 while φ₁ ≈ 1 + Nε.
+        let mut eigs = vec![100.0, 1.0];
+        eigs.extend(vec![1e-3; 1000]);
+        let sums = {
+            let residual = &eigs[1..];
+            ResidualPowerSums {
+                phi1: residual.iter().sum(),
+                phi2: residual.iter().map(|l| l * l).sum(),
+                phi3: residual.iter().map(|l| l * l * l).sum(),
+            }
+        };
+        let h0 = 1.0 - 2.0 * sums.phi1 * sums.phi3 / (3.0 * sums.phi2 * sums.phi2);
+        assert!(h0 <= 0.0, "fixture must exercise the fallback (h0 = {h0})");
+        let t = q_threshold_from_power_sums(&sums, 0.999).unwrap();
+        let first_order = sums.phi1 + inv_norm_cdf(0.999) * (2.0 * sums.phi2).sqrt();
+        assert_eq!(t, first_order);
+        assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
     fn invalid_arguments_rejected() {
         let eigs = vec![1.0, 0.5];
         assert!(matches!(
@@ -140,6 +261,45 @@ mod tests {
             q_statistic_threshold(&[], 0, 0.9),
             Err(SubspaceError::BadDimension { .. })
         ));
+        let sums = ResidualPowerSums {
+            phi1: 1.0,
+            phi2: 1.0,
+            phi3: 1.0,
+        };
+        assert!(q_threshold_from_power_sums(&sums, 0.0).is_err());
+        assert!(q_threshold_from_power_sums(&sums, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn empirical_quantile_interpolates_order_statistics() {
+        let sorted: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        // Exact order statistics at the grid points...
+        assert!((empirical_quantile(&sorted, 0.5).unwrap() - 50.0).abs() < 1e-12);
+        assert!((empirical_quantile(&sorted, 0.99).unwrap() - 99.0).abs() < 1e-12);
+        // ...interpolation between them...
+        let q = empirical_quantile(&sorted, 0.995).unwrap();
+        assert!((q - 99.5).abs() < 1e-12, "q = {q}");
+        // ...and saturation at the sample maximum.
+        assert!(empirical_quantile(&sorted, 0.9999).unwrap() <= 100.0);
+        assert_eq!(empirical_quantile(&[7.0], 0.9).unwrap(), 7.0);
+        assert!(empirical_quantile(&[], 0.9).is_err());
+        assert!(empirical_quantile(&sorted, 1.0).is_err());
+    }
+
+    #[test]
+    fn empirical_quantile_covers_its_own_sample() {
+        // By construction ~ (1 - alpha) of the calibration sample exceeds
+        // the threshold.
+        let mut spes: Vec<f64> = (0..2000).map(|i| ((i * 7919) % 4001) as f64).collect();
+        spes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for alpha in [0.9, 0.99, 0.999] {
+            let t = empirical_quantile(&spes, alpha).unwrap();
+            let exceed = spes.iter().filter(|&&s| s > t).count() as f64 / spes.len() as f64;
+            assert!(
+                (exceed - (1.0 - alpha)).abs() < 2.0 / spes.len() as f64 + 1e-3,
+                "alpha {alpha}: exceedance {exceed}"
+            );
+        }
     }
 
     #[test]

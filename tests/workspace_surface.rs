@@ -11,7 +11,8 @@
 use entromine::{
     anomaly_point_matrix, cluster_rows, label_breakdown, match_truth, unit_norm, ClassifierConfig,
     ClusterAlgorithm, ClusterRow, DetectionMethods, Diagnoser, DiagnoserConfig, Diagnosis,
-    DiagnosisError, DiagnosisReport, FittedDiagnoser, LabelRow, MatchOutcome,
+    DiagnosisError, DiagnosisReport, FitStrategy, FittedDiagnoser, LabelRow, MatchOutcome,
+    ThresholdPolicy,
 };
 
 // Layer re-exports: each substrate is reachable through the umbrella.
@@ -20,13 +21,17 @@ use entromine::entropy::{
     normalized_entropy, sample_entropy, BinAccumulator, BinSummary, EntropyTensor, Feature,
     FeatureHistogram, VolumeMatrix, FEATURES,
 };
-use entromine::linalg::{stats, sym_eigen, top_k_eigen, Mat, Pca};
+use entromine::linalg::{
+    stats, sym_eigen, sym_trace_cubed, top_k_eigen, top_k_eigen_detailed, AxisRequest, Mat,
+    MomentAccumulator, Pca, ResidualPowerSums, Spectrum, TopKInfo,
+};
 use entromine::net::{
     AddressPlan, FlowCache, FlowKey, Ipv4, OdIndexer, OdPair, PacketHeader, Prefix, PrefixTable,
     Protocol, Topology, ABILENE_ANON_BITS,
 };
 use entromine::subspace::{
-    q_statistic_threshold, Detection, DimSelection, MultiwayModel, SubspaceModel,
+    empirical_quantile, q_statistic_threshold, q_threshold_from_power_sums, Detection,
+    DimSelection, MultiwayFitter, MultiwayModel, SubspaceModel,
 };
 use entromine::synth::distr::{poisson, standard_normal, zipf_weights, AliasTable};
 use entromine::synth::{
@@ -57,4 +62,21 @@ fn umbrella_layers_interoperate() {
 fn unit_norm_is_reachable_and_correct() {
     let v = unit_norm([2.0, 0.0, 0.0, 0.0]);
     assert_eq!(v, [1.0, 0.0, 0.0, 0.0]);
+}
+
+#[test]
+fn spectral_engine_knobs_are_on_the_default_config() {
+    // The core re-exports and the subspace originals are the same types,
+    // and the defaults are the documented ones.
+    let config = DiagnoserConfig::default();
+    assert_eq!(config.strategy, entromine::subspace::FitStrategy::Auto);
+    assert_eq!(
+        config.threshold_policy,
+        entromine::subspace::ThresholdPolicy::JacksonMudholkar
+    );
+    assert_eq!(FitStrategy::default(), FitStrategy::Auto);
+    assert_eq!(
+        ThresholdPolicy::default(),
+        ThresholdPolicy::JacksonMudholkar
+    );
 }
