@@ -21,15 +21,26 @@
 //!   Q-thresholds cross-checked against the oracle.
 //! * `streaming_ingest` — packets offered through `StreamingGridBuilder`
 //!   to finalized bins, in bins/sec and packets/sec.
+//! * `ingest_sharded` — the sharded ingest plane (`ShardedGridBuilder`)
+//!   against the serial builder: per-packet serial baseline vs batched
+//!   shard counts 1/2/8. The fan-out is thread-bound, so per-shard
+//!   scaling only shows on multi-core hosts (`threads_available` is
+//!   recorded alongside).
+//! * `block_matvec` — the subspace-iteration block multiply at Geant
+//!   width: serial reference vs the scoped-thread row fan-out.
 //! * `score` — `StreamingDiagnoser` throughput over finalized bins.
+//!
+//! `--ingest-smoke` runs only the ingest comparison and prints it to
+//! stdout (the CI regression probe for the parallel path); nothing is
+//! written.
 
-use entromine::linalg::{sym_eigen, FitStrategy, Pca};
-use entromine::net::Topology;
+use entromine::linalg::{block_matvec, block_matvec_serial, sym_eigen, FitStrategy, Pca};
+use entromine::net::{PacketHeader, Topology};
 use entromine::subspace::{DimSelection, SubspaceModel};
 use entromine::synth::{Dataset, DatasetConfig};
 use entromine::Diagnoser;
 use entromine_bench::traffic_matrix;
-use entromine_entropy::{StreamConfig, StreamingGridBuilder};
+use entromine_entropy::{ShardedGridBuilder, StreamConfig, StreamingGridBuilder};
 use std::time::Instant;
 
 /// Best-of-`reps` wall-clock milliseconds of `f`.
@@ -48,9 +59,138 @@ fn best_ms<T>(f: impl FnMut() -> T) -> f64 {
     best_ms_n(3, f)
 }
 
+/// One sharded-ingest measurement: shard count, wall time, throughputs.
+struct IngestRun {
+    shards: usize,
+    ms: f64,
+    bins_per_sec: f64,
+    packets_per_sec: f64,
+}
+
+/// Results of the sharded-ingest comparison.
+struct IngestBench {
+    flows: usize,
+    bins: usize,
+    packets: usize,
+    serial_ms: f64,
+    runs: Vec<IngestRun>,
+}
+
+/// Benchmarks the ingest planes on one shared pre-materialized feed:
+/// per-packet serial `StreamingGridBuilder` baseline, then batched
+/// `ShardedGridBuilder` at each requested shard count. All runs are
+/// checked to finalize every bin.
+fn bench_ingest(shard_counts: &[usize]) -> IngestBench {
+    // A heavier feed than the serial `streaming_ingest` snapshot: batch
+    // fan-out amortizes spawn overhead over per-bin batches, so the
+    // comparison needs production-sized bins (~150k packets each).
+    let config = DatasetConfig {
+        seed: 9,
+        n_bins: 10,
+        sample_rate: 100,
+        traffic_scale: 0.2,
+        rate_noise: 0.02,
+        anonymize: false,
+    };
+    let dataset = Dataset::clean(Topology::abilene(), config);
+    let p = dataset.n_flows();
+    let bins = dataset.n_bins();
+    println!("sharded ingest (abilene, {bins} bins, 0.2 scale) ...");
+    let feed: Vec<Vec<(usize, PacketHeader)>> = (0..bins)
+        .map(|bin| {
+            (0..p)
+                .flat_map(|flow| {
+                    dataset
+                        .net
+                        .cell_packets(bin, flow, &[])
+                        .into_iter()
+                        .map(move |pkt| (flow, pkt))
+                })
+                .collect()
+        })
+        .collect();
+    let packets: usize = feed.iter().map(Vec::len).sum();
+
+    let serial_ms = best_ms(|| {
+        let mut grid = StreamingGridBuilder::new(StreamConfig::new(p)).unwrap();
+        let mut finalized = 0usize;
+        for (bin, batch) in feed.iter().enumerate() {
+            for (flow, pkt) in batch {
+                grid.offer_packet(*flow, pkt).unwrap();
+            }
+            finalized += grid
+                .advance_watermark((bin + 1) as u64 * DatasetConfig::BIN_SECS)
+                .len();
+        }
+        assert_eq!(finalized, bins);
+    });
+    println!(
+        "  serial per-packet: {serial_ms:.1} ms ({:.2e} packets/s)",
+        packets as f64 / (serial_ms / 1e3)
+    );
+
+    let runs = shard_counts
+        .iter()
+        .map(|&shards| {
+            let ms = best_ms(|| {
+                let mut grid = ShardedGridBuilder::new(StreamConfig::new(p), shards).unwrap();
+                let mut finalized = 0usize;
+                for (bin, batch) in feed.iter().enumerate() {
+                    grid.offer_packets(batch).unwrap();
+                    finalized += grid
+                        .advance_watermark((bin + 1) as u64 * DatasetConfig::BIN_SECS)
+                        .len();
+                }
+                assert_eq!(finalized, bins);
+            });
+            let run = IngestRun {
+                shards,
+                ms,
+                bins_per_sec: bins as f64 / (ms / 1e3),
+                packets_per_sec: packets as f64 / (ms / 1e3),
+            };
+            println!(
+                "  {shards} shard(s): {ms:.1} ms ({:.2e} packets/s, {:.2}x serial)",
+                run.packets_per_sec,
+                serial_ms / ms
+            );
+            run
+        })
+        .collect();
+    IngestBench {
+        flows: p,
+        bins,
+        packets,
+        serial_ms,
+        runs,
+    }
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--ingest-smoke") {
+        // CI probe: the sharded plane vs the serial baseline, printed to
+        // the job log, written nowhere.
+        let ingest = bench_ingest(&[1, 8]);
+        let one = ingest.runs.iter().find(|r| r.shards == 1).unwrap();
+        let eight = ingest.runs.iter().find(|r| r.shards == 8).unwrap();
+        println!(
+            "ingest smoke: serial {:.1} ms | 1 shard {:.1} ms | 8 shards {:.1} ms \
+             (8-vs-1 {:.2}x, 8-vs-serial {:.2}x, {} threads available)",
+            ingest.serial_ms,
+            one.ms,
+            eight.ms,
+            one.ms / eight.ms,
+            ingest.serial_ms / eight.ms,
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        );
+        return;
+    }
+    let out_path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "results/BENCH_pipeline.json".to_string());
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -140,6 +280,54 @@ fn main() {
 
     // Partial refits are also the Pca-level story (no threshold work):
     let pca_partial_ms = best_ms_n(2, || Pca::fit_partial(&geant, partial_k).unwrap());
+
+    // -- block multiply of the subspace iteration ------------------------
+    // The one kernel every partial-spectrum cycle pays for, at Geant
+    // width with the production block size (k = 10 plus oversampling).
+    println!("block_matvec 1936 x 18 ...");
+    let bm_cov = geant.covariance().unwrap();
+    let bm_block: Vec<Vec<f64>> = (0..18)
+        .map(|j| {
+            (0..bm_cov.rows())
+                .map(|i| ((i * 7 + j * 13) % 97) as f64 / 97.0)
+                .collect()
+        })
+        .collect();
+    let bm_serial_ms = best_ms(|| block_matvec_serial(&bm_cov, &bm_block));
+    let bm_fanned_ms = best_ms(|| block_matvec(&bm_cov, &bm_block));
+    let bm_speedup = bm_serial_ms / bm_fanned_ms;
+    println!(
+        "  serial {bm_serial_ms:.1} ms, fanned {bm_fanned_ms:.1} ms ({bm_speedup:.2}x, \
+         {threads} threads available)"
+    );
+
+    // -- sharded ingest plane --------------------------------------------
+    let ingest_sharded = bench_ingest(&[1, 2, 8]);
+    let shard1_ms = ingest_sharded
+        .runs
+        .iter()
+        .find(|r| r.shards == 1)
+        .map_or(f64::NAN, |r| r.ms);
+    let shard8_ms = ingest_sharded
+        .runs
+        .iter()
+        .find(|r| r.shards == 8)
+        .map_or(f64::NAN, |r| r.ms);
+    let ingest_runs_json = ingest_sharded
+        .runs
+        .iter()
+        .map(|r| {
+            format!(
+                r#"      {{ "shards": {}, "ms": {:.3}, "bins_per_sec": {:.1}, "packets_per_sec": {:.1}, "speedup_vs_serial": {:.3} }}"#,
+                r.shards,
+                r.ms,
+                r.bins_per_sec,
+                r.packets_per_sec,
+                ingest_sharded.serial_ms / r.ms
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
 
     // -- streaming ingest + score ----------------------------------------
     println!("streaming ingest + score (abilene, 36 bins, 0.05 scale) ...");
@@ -238,6 +426,14 @@ fn main() {
     "threshold_rel_err_partial": {partial_rel:.3e},
     "threshold_rel_err_gram": {gram_rel:.3e}
   }},
+  "block_matvec": {{
+    "n": 1936,
+    "block": 18,
+    "serial_ms": {bm_serial_ms:.3},
+    "fanned_ms": {bm_fanned_ms:.3},
+    "speedup": {bm_speedup:.3},
+    "note": "scoped-thread row fan-out; speedup is bounded by threads_available"
+  }},
   "streaming_ingest": {{
     "flows": {p},
     "bins": {bins},
@@ -246,9 +442,25 @@ fn main() {
     "bins_per_sec": {bins_per_sec:.1},
     "packets_per_sec": {packets_per_sec:.1}
   }},
+  "ingest_sharded": {{
+    "flows": {ing_flows},
+    "bins": {ing_bins},
+    "packets": {ing_packets},
+    "serial_per_packet_ms": {ing_serial_ms:.3},
+    "runs": [
+{ingest_runs_json}
+    ],
+    "speedup_8_over_1": {ing_speedup_8_over_1:.3},
+    "note": "per-shard accumulation fans out over scoped threads; 8-over-1 scaling requires >= 8 cores (threads_available above records this host)"
+  }},
   "streaming_score": {{ "bins": {bins}, "ms": {score_ms:.3}, "bins_per_sec": {scored_bins_per_sec:.1} }}
 }}
-"#
+"#,
+        ing_flows = ingest_sharded.flows,
+        ing_bins = ingest_sharded.bins,
+        ing_packets = ingest_sharded.packets,
+        ing_serial_ms = ingest_sharded.serial_ms,
+        ing_speedup_8_over_1 = shard1_ms / shard8_ms,
     );
     std::fs::write(&out_path, json).expect("write snapshot");
     println!("wrote {out_path}");

@@ -64,21 +64,28 @@
 
 mod classify;
 mod error;
+mod monitor;
 mod pipeline;
 mod report;
 mod stream;
+mod window;
 
 pub use classify::{anomaly_point_matrix, ClassifierConfig, ClusterAlgorithm};
 pub use error::DiagnosisError;
+pub use monitor::{
+    DriftPolicy, Monitor, MonitorConfig, MonitorState, MonitorStep, RefitOutcome, RefitReport,
+    RefitTrigger, Verdict,
+};
 pub use pipeline::{
     DetectionMethods, Diagnoser, DiagnoserConfig, Diagnosis, DiagnosisReport, FittedDiagnoser,
 };
 pub use report::{cluster_rows, label_breakdown, match_truth, ClusterRow, LabelRow, MatchOutcome};
 pub use stream::StreamingDiagnoser;
+pub use window::TrainingWindow;
 
 /// Re-exports of the [`DiagnoserConfig`] knob types, so pipeline callers
 /// need not reach into the subspace crate.
-pub use entromine_subspace::{FitStrategy, ThresholdPolicy};
+pub use entromine_subspace::{EmpiricalSharpness, FitStrategy, ThresholdPolicy};
 
 /// Re-export of the clustering layer.
 pub use entromine_cluster as cluster;

@@ -68,6 +68,29 @@ impl Default for DiagnoserConfig {
     }
 }
 
+impl DiagnoserConfig {
+    /// The configured dimension selection, capped below `cols` so small
+    /// networks fit with the default config. Shared by the batch fit and
+    /// the rolling-window fit so the two can never disagree.
+    pub(crate) fn capped_dim(&self, cols: usize) -> DimSelection {
+        match self.dim {
+            DimSelection::Fixed(m) => DimSelection::Fixed(m.min(cols.saturating_sub(1)).max(1)),
+            other => other,
+        }
+    }
+
+    /// Rejects a non-finite or out-of-`(0, 1)` alpha — the shared fit-time
+    /// validation of every fit entry point.
+    pub(crate) fn validate_alpha(&self) -> Result<(), DiagnosisError> {
+        if !self.alpha.is_finite() || self.alpha <= 0.0 || self.alpha >= 1.0 {
+            return Err(DiagnosisError::BadConfig(
+                "alpha must be finite and lie strictly inside (0, 1)",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Which detectors flagged a bin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DetectionMethods {
@@ -189,12 +212,7 @@ impl Diagnoser {
     /// misconfigured pipeline fails loudly before any model exists rather
     /// than misbehaving bin by bin.
     pub fn fit(&self, dataset: &Dataset) -> Result<FittedDiagnoser, DiagnosisError> {
-        let alpha = self.config.alpha;
-        if !alpha.is_finite() || alpha <= 0.0 || alpha >= 1.0 {
-            return Err(DiagnosisError::BadConfig(
-                "alpha must be finite and lie strictly inside (0, 1)",
-            ));
-        }
+        self.config.validate_alpha()?;
         if dataset.n_bins() < 4 {
             return Err(DiagnosisError::BadDataset(
                 "need at least 4 bins to model variation",
@@ -243,19 +261,17 @@ impl Diagnoser {
         rows: &[usize],
     ) -> Result<FittedDiagnoser, DiagnosisError> {
         let p = dataset.n_flows();
-        let dim_for = |cols: usize| -> DimSelection {
-            match self.config.dim {
-                DimSelection::Fixed(m) => DimSelection::Fixed(m.min(cols.saturating_sub(1)).max(1)),
-                other => other,
-            }
-        };
         let strategy = self.config.strategy;
         let bytes = dataset.volumes.bytes().select_rows(rows);
         let packets = dataset.volumes.packets().select_rows(rows);
-        let bytes_model = SubspaceModel::fit_with(&bytes, dim_for(p), strategy)?;
-        let packets_model = SubspaceModel::fit_with(&packets, dim_for(p), strategy)?;
-        let entropy_model =
-            MultiwayModel::fit_on_rows_with(&dataset.tensor, dim_for(4 * p), rows, strategy)?;
+        let bytes_model = SubspaceModel::fit_with(&bytes, self.config.capped_dim(p), strategy)?;
+        let packets_model = SubspaceModel::fit_with(&packets, self.config.capped_dim(p), strategy)?;
+        let entropy_model = MultiwayModel::fit_on_rows_with(
+            &dataset.tensor,
+            self.config.capped_dim(4 * p),
+            rows,
+            strategy,
+        )?;
         Ok(FittedDiagnoser {
             config: self.config,
             bytes_model,
@@ -274,10 +290,95 @@ pub struct FittedDiagnoser {
     entropy_model: MultiwayModel,
 }
 
+/// Precomputed trimming thresholds (SPE + Hotelling's T² per detector):
+/// the per-row suspicion test of the clean-training refit loop, shared by
+/// the batch fit and the rolling-window fit.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SuspicionGate {
+    t_bytes: f64,
+    t_packets: f64,
+    t_entropy: f64,
+    t2_bytes: f64,
+    t2_packets: f64,
+    t2_entropy: f64,
+}
+
 impl FittedDiagnoser {
     /// The configuration the pipeline was built with.
     pub fn config(&self) -> &DiagnoserConfig {
         &self.config
+    }
+
+    /// Builds the trimming gate for this model set at confidence `alpha`.
+    pub(crate) fn suspicion_gate(&self, alpha: f64) -> Result<SuspicionGate, DiagnosisError> {
+        let policy = self.config.threshold_policy;
+        Ok(SuspicionGate {
+            t_bytes: self.bytes_model.threshold_with(alpha, policy)?,
+            t_packets: self.packets_model.threshold_with(alpha, policy)?,
+            t_entropy: self.entropy_model.threshold_with(alpha, policy)?,
+            t2_bytes: self.bytes_model.t2_threshold(alpha),
+            t2_packets: self.packets_model.t2_threshold(alpha),
+            t2_entropy: self.entropy_model.inner().t2_threshold(alpha),
+        })
+    }
+
+    /// Whether one bin's measurement rows look suspicious under SPE *or*
+    /// Hotelling's T² for any of the three detectors — the row test the
+    /// clean-training refit excludes on.
+    pub(crate) fn row_suspicious(
+        &self,
+        gate: &SuspicionGate,
+        bytes_row: &[f64],
+        packets_row: &[f64],
+        entropy_raw: &[f64],
+    ) -> Result<bool, DiagnosisError> {
+        Ok(self.bytes_model.spe(bytes_row)? > gate.t_bytes
+            || self.packets_model.spe(packets_row)? > gate.t_packets
+            || self.entropy_model.spe(entropy_raw)? > gate.t_entropy
+            || self.bytes_model.t2(bytes_row)? > gate.t2_bytes
+            || self.packets_model.t2(packets_row)? > gate.t2_packets
+            || self.entropy_model.t2(entropy_raw)? > gate.t2_entropy)
+    }
+
+    /// Assembles a fitted pipeline from already-fitted models — the back
+    /// door the rolling-window fit uses (it has no `Dataset`).
+    pub(crate) fn from_parts(
+        config: DiagnoserConfig,
+        bytes_model: SubspaceModel,
+        packets_model: SubspaceModel,
+        entropy_model: MultiwayModel,
+    ) -> Self {
+        FittedDiagnoser {
+            config,
+            bytes_model,
+            packets_model,
+            entropy_model,
+        }
+    }
+
+    /// Structured empirical-threshold sharpness warnings at confidence
+    /// `alpha`, one per under-resolved detector (tagged `"bytes"`,
+    /// `"packets"`, `"entropy"`). Empty unless the configured policy is
+    /// [`ThresholdPolicy::Empirical`] — the analytic threshold has no
+    /// sample to be under-resolved.
+    pub fn sharpness_warnings(
+        &self,
+        alpha: f64,
+    ) -> Vec<(&'static str, entromine_subspace::EmpiricalSharpness)> {
+        if self.config.threshold_policy != ThresholdPolicy::Empirical {
+            return Vec::new();
+        }
+        let mut warnings = Vec::new();
+        if let Some(w) = self.bytes_model.empirical_sharpness(alpha) {
+            warnings.push(("bytes", w));
+        }
+        if let Some(w) = self.packets_model.empirical_sharpness(alpha) {
+            warnings.push(("packets", w));
+        }
+        if let Some(w) = self.entropy_model.empirical_sharpness(alpha) {
+            warnings.push(("entropy", w));
+        }
+        warnings
     }
 
     /// The fitted multiway entropy model.
@@ -338,32 +439,23 @@ impl FittedDiagnoser {
     }
 
     /// Bins that look suspicious under SPE *or* Hotelling's T² for any of
-    /// the three detectors — the trimming set for clean-training refits.
+    /// the three detectors — the trimming set for clean-training refits,
+    /// a replay of [`row_suspicious`](Self::row_suspicious) over the
+    /// dataset's rows.
     fn suspicious_bins(
         &self,
         dataset: &Dataset,
         alpha: f64,
     ) -> Result<std::collections::HashSet<usize>, DiagnosisError> {
-        let policy = self.config.threshold_policy;
-        let t_bytes = self.bytes_model.threshold_with(alpha, policy)?;
-        let t_packets = self.packets_model.threshold_with(alpha, policy)?;
-        let t_entropy = self.entropy_model.threshold_with(alpha, policy)?;
-        let t2_bytes = self.bytes_model.t2_threshold(alpha);
-        let t2_packets = self.packets_model.t2_threshold(alpha);
-        let t2_entropy = self.entropy_model.inner().t2_threshold(alpha);
-
+        let gate = self.suspicion_gate(alpha)?;
         let mut flagged = std::collections::HashSet::new();
         for bin in 0..dataset.n_bins() {
-            let b_row = dataset.volumes.bytes().row(bin);
-            let p_row = dataset.volumes.packets().row(bin);
-            let e_row = dataset.tensor.unfolded_row(bin);
-            let hit = self.bytes_model.spe(b_row)? > t_bytes
-                || self.packets_model.spe(p_row)? > t_packets
-                || self.entropy_model.spe(&e_row)? > t_entropy
-                || self.bytes_model.t2(b_row)? > t2_bytes
-                || self.packets_model.t2(p_row)? > t2_packets
-                || self.entropy_model.t2(&e_row)? > t2_entropy;
-            if hit {
+            if self.row_suspicious(
+                &gate,
+                dataset.volumes.bytes().row(bin),
+                dataset.volumes.packets().row(bin),
+                &dataset.tensor.unfolded_row(bin),
+            )? {
                 flagged.insert(bin);
             }
         }

@@ -30,6 +30,82 @@ use crate::pipeline::{DetectionMethods, Diagnosis, FittedDiagnoser};
 use crate::{unit_norm, DiagnosisError};
 use entromine_entropy::FinalizedBin;
 
+/// The three Q-thresholds `(bytes, packets, entropy)` of a model set at
+/// confidence `alpha`, honoring the configured [`ThresholdPolicy`]: the
+/// shared threshold computation of every scoring head (the frozen
+/// [`StreamingDiagnoser`] and the rolling [`Monitor`](crate::Monitor)).
+pub(crate) fn thresholds_for(
+    fitted: &FittedDiagnoser,
+    alpha: f64,
+) -> Result<(f64, f64, f64), DiagnosisError> {
+    let policy = fitted.config().threshold_policy;
+    Ok((
+        fitted.bytes_model().threshold_with(alpha, policy)?,
+        fitted.packets_model().threshold_with(alpha, policy)?,
+        fitted.entropy_model().threshold_with(alpha, policy)?,
+    ))
+}
+
+/// Scores one bin's measurement rows against a model set and its
+/// precomputed thresholds.
+///
+/// This free function is **the** scoring code path of the whole pipeline:
+/// [`StreamingDiagnoser::score_rows`] wraps it, batch diagnosis replays
+/// stored rows through that wrapper, and the rolling
+/// [`Monitor`](crate::Monitor) calls it against whichever model is live —
+/// one body, so none of the three can drift apart.
+pub(crate) fn score_rows_against(
+    fitted: &FittedDiagnoser,
+    thresholds: (f64, f64, f64),
+    alpha: f64,
+    bin: usize,
+    bytes_row: &[f64],
+    packets_row: &[f64],
+    entropy_raw: &[f64],
+) -> Result<Option<Diagnosis>, DiagnosisError> {
+    let (t_bytes, t_packets, t_entropy) = thresholds;
+    let bytes_spe = fitted.bytes_model().spe(bytes_row)?;
+    let packets_spe = fitted.packets_model().spe(packets_row)?;
+    let entropy_spe = fitted.entropy_model().spe(entropy_raw)?;
+
+    let methods = DetectionMethods {
+        bytes: bytes_spe > t_bytes,
+        packets: packets_spe > t_packets,
+        entropy: entropy_spe > t_entropy,
+    };
+    if !(methods.volume() || methods.entropy) {
+        return Ok(None);
+    }
+
+    // Identification runs on the entropy residual whenever it is above
+    // threshold; volume-only detections carry no blamed flows.
+    let flows = if methods.entropy {
+        fitted
+            .entropy_model()
+            .identify(entropy_raw, alpha, fitted.config().max_ident_flows)?
+    } else {
+        Vec::new()
+    };
+    let point = match flows.first() {
+        Some(first) => {
+            let v = fitted
+                .entropy_model()
+                .anomaly_vector(entropy_raw, first.flow)?;
+            Some(unit_norm(v))
+        }
+        None => None,
+    };
+    Ok(Some(Diagnosis {
+        bin,
+        methods,
+        entropy_spe,
+        bytes_spe,
+        packets_spe,
+        flows,
+        point,
+    }))
+}
+
 /// Online scoring head over a [`FittedDiagnoser`]: trained models plus
 /// precomputed thresholds, consuming finalized bins and emitting
 /// [`Diagnosis`] values as they happen.
@@ -49,13 +125,13 @@ impl<'a> StreamingDiagnoser<'a> {
         // Thresholds honor the configured policy: the analytic
         // Jackson–Mudholkar formula by default, training-SPE order
         // statistics under `ThresholdPolicy::Empirical`.
-        let policy = fitted.config().threshold_policy;
+        let (t_bytes, t_packets, t_entropy) = thresholds_for(fitted, alpha)?;
         Ok(StreamingDiagnoser {
             fitted,
             alpha,
-            t_bytes: fitted.bytes_model().threshold_with(alpha, policy)?,
-            t_packets: fitted.packets_model().threshold_with(alpha, policy)?,
-            t_entropy: fitted.entropy_model().threshold_with(alpha, policy)?,
+            t_bytes,
+            t_packets,
+            t_entropy,
             bins_scored: 0,
             detections: 0,
         })
@@ -110,50 +186,19 @@ impl<'a> StreamingDiagnoser<'a> {
         entropy_raw: &[f64],
     ) -> Result<Option<Diagnosis>, DiagnosisError> {
         self.bins_scored += 1;
-        let bytes_spe = self.fitted.bytes_model().spe(bytes_row)?;
-        let packets_spe = self.fitted.packets_model().spe(packets_row)?;
-        let entropy_spe = self.fitted.entropy_model().spe(entropy_raw)?;
-
-        let methods = DetectionMethods {
-            bytes: bytes_spe > self.t_bytes,
-            packets: packets_spe > self.t_packets,
-            entropy: entropy_spe > self.t_entropy,
-        };
-        if !(methods.volume() || methods.entropy) {
-            return Ok(None);
-        }
-
-        // Identification runs on the entropy residual whenever it is
-        // above threshold; volume-only detections carry no blamed flows.
-        let flows = if methods.entropy {
-            self.fitted.entropy_model().identify(
-                entropy_raw,
-                self.alpha,
-                self.fitted.config().max_ident_flows,
-            )?
-        } else {
-            Vec::new()
-        };
-        let point = match flows.first() {
-            Some(first) => {
-                let v = self
-                    .fitted
-                    .entropy_model()
-                    .anomaly_vector(entropy_raw, first.flow)?;
-                Some(unit_norm(v))
-            }
-            None => None,
-        };
-        self.detections += 1;
-        Ok(Some(Diagnosis {
+        let diagnosis = score_rows_against(
+            self.fitted,
+            (self.t_bytes, self.t_packets, self.t_entropy),
+            self.alpha,
             bin,
-            methods,
-            entropy_spe,
-            bytes_spe,
-            packets_spe,
-            flows,
-            point,
-        }))
+            bytes_row,
+            packets_row,
+            entropy_raw,
+        )?;
+        if diagnosis.is_some() {
+            self.detections += 1;
+        }
+        Ok(diagnosis)
     }
 }
 

@@ -1,0 +1,437 @@
+//! The sliding training window of a rolling-model monitor.
+//!
+//! A deployment that refits as traffic drifts needs to hold "the last W
+//! bins" in a form a fit can consume. Re-pushing W rows of width `4p`
+//! into fresh moment accumulators on every refit costs `O(W·p²)`; a
+//! [`TrainingWindow`] instead accumulates **chunks** — each chunk owns
+//! its own [`MomentAccumulator`]s (bytes, packets) and [`MultiwayFitter`]
+//! (entropy) over `chunk_bins` consecutive bins — and a refit merges the
+//! live chunks with Chan's pairwise moment combination, `O(K·p²)` for `K`
+//! chunks. Rolling the window forward is dropping the oldest chunk:
+//! subtraction-free, numerically safe, and exactly what the Chan merge
+//! was built for.
+//!
+//! The raw rows are retained alongside the moments (bounded by the
+//! window capacity) because two parts of the fit cannot run on moments
+//! alone: the clean-training trimming rounds (`refit_rounds`) must score
+//! and exclude individual bins, and [`ThresholdPolicy::Empirical`] needs
+//! the training-SPE order statistics.
+//!
+//! [`fit`](TrainingWindow::fit) is **the** window-fit code path: the
+//! online [`Monitor`](crate::Monitor) calls it at every refit, and an
+//! offline replay that pushes the same bins through a fresh window gets
+//! bit-identical models — the property the monitor-lifecycle suite pins.
+//!
+//! [`MomentAccumulator`]: entromine_linalg::MomentAccumulator
+//! [`MultiwayFitter`]: entromine_subspace::MultiwayFitter
+//! [`ThresholdPolicy::Empirical`]: entromine_subspace::ThresholdPolicy::Empirical
+
+use crate::pipeline::{DiagnoserConfig, FittedDiagnoser};
+use crate::DiagnosisError;
+use entromine_linalg::MomentAccumulator;
+use entromine_subspace::{MultiwayFitter, SubspaceModel};
+use std::collections::VecDeque;
+
+/// One training bin's retained measurement rows.
+#[derive(Debug, Clone)]
+struct WindowRow {
+    bin: usize,
+    bytes: Vec<f64>,
+    packets: Vec<f64>,
+    entropy_raw: Vec<f64>,
+}
+
+/// One chunk of the window: moments plus retained rows over up to
+/// `chunk_bins` consecutive pushes.
+#[derive(Debug, Clone)]
+struct WindowChunk {
+    bytes: MomentAccumulator,
+    packets: MomentAccumulator,
+    entropy: MultiwayFitter,
+    rows: Vec<WindowRow>,
+}
+
+impl WindowChunk {
+    fn new(n_flows: usize) -> Result<Self, DiagnosisError> {
+        Ok(WindowChunk {
+            bytes: MomentAccumulator::new(n_flows),
+            packets: MomentAccumulator::new(n_flows),
+            // Dimension and engine are re-selected at fit time.
+            entropy: MultiwayFitter::new(n_flows, entromine_subspace::DimSelection::Fixed(1))?,
+            rows: Vec::new(),
+        })
+    }
+}
+
+/// A sliding, chunked training window over scored bins: Chan-merged
+/// chunk moments plus retained rows, fitted by one auditable code path.
+#[derive(Debug, Clone)]
+pub struct TrainingWindow {
+    n_flows: usize,
+    capacity_bins: usize,
+    chunk_bins: usize,
+    chunks: VecDeque<WindowChunk>,
+}
+
+impl TrainingWindow {
+    /// An empty window for `n_flows` OD flows holding at most
+    /// `capacity_bins` bins, rolled forward in `chunk_bins` granules.
+    ///
+    /// Because rolling drops whole chunks, the effective window length
+    /// stays within `[capacity_bins - chunk_bins + 1, capacity_bins]`
+    /// once full.
+    ///
+    /// # Errors
+    ///
+    /// `BadConfig` when any parameter is zero, `chunk_bins` exceeds
+    /// `capacity_bins`, or fewer than 2 flows are requested (the subspace
+    /// method models an ensemble).
+    pub fn new(
+        n_flows: usize,
+        capacity_bins: usize,
+        chunk_bins: usize,
+    ) -> Result<Self, DiagnosisError> {
+        if n_flows < 2 {
+            return Err(DiagnosisError::BadConfig(
+                "need at least 2 OD flows for ensemble modeling",
+            ));
+        }
+        if capacity_bins == 0 || chunk_bins == 0 {
+            return Err(DiagnosisError::BadConfig(
+                "window and chunk sizes must be at least 1 bin",
+            ));
+        }
+        if chunk_bins > capacity_bins {
+            return Err(DiagnosisError::BadConfig(
+                "chunk size cannot exceed the window capacity",
+            ));
+        }
+        Ok(TrainingWindow {
+            n_flows,
+            capacity_bins,
+            chunk_bins,
+            chunks: VecDeque::new(),
+        })
+    }
+
+    /// Number of OD flows `p`.
+    pub fn n_flows(&self) -> usize {
+        self.n_flows
+    }
+
+    /// Bins currently held.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(|c| c.rows.len()).sum()
+    }
+
+    /// `true` when no bin has been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Maximum bins held before the oldest chunk rolls out.
+    pub fn capacity_bins(&self) -> usize {
+        self.capacity_bins
+    }
+
+    /// Roll granularity in bins.
+    pub fn chunk_bins(&self) -> usize {
+        self.chunk_bins
+    }
+
+    /// The bin indices currently in the window, oldest first.
+    pub fn bins(&self) -> Vec<usize> {
+        self.chunks
+            .iter()
+            .flat_map(|c| c.rows.iter().map(|r| r.bin))
+            .collect()
+    }
+
+    /// Absorbs one bin's measurement rows: byte and packet counts per
+    /// flow (length `p`) and the raw unfolded entropy row (length `4p`).
+    /// Rolls the oldest chunk out once the capacity is exceeded.
+    ///
+    /// # Errors
+    ///
+    /// `BadDataset` on a row-length mismatch.
+    pub fn push_bin(
+        &mut self,
+        bin: usize,
+        bytes_row: &[f64],
+        packets_row: &[f64],
+        entropy_raw: &[f64],
+    ) -> Result<(), DiagnosisError> {
+        let p = self.n_flows;
+        if bytes_row.len() != p || packets_row.len() != p || entropy_raw.len() != 4 * p {
+            return Err(DiagnosisError::BadDataset(
+                "window rows must be p, p, and 4p long",
+            ));
+        }
+        let need_new = self
+            .chunks
+            .back()
+            .is_none_or(|c| c.rows.len() >= self.chunk_bins);
+        if need_new {
+            self.chunks.push_back(WindowChunk::new(p)?);
+        }
+        let chunk = self.chunks.back_mut().expect("chunk just ensured");
+        chunk.bytes.push(bytes_row).map_err(subspace_err)?;
+        chunk.packets.push(packets_row).map_err(subspace_err)?;
+        chunk.entropy.push_row(entropy_raw)?;
+        chunk.rows.push(WindowRow {
+            bin,
+            bytes: bytes_row.to_vec(),
+            packets: packets_row.to_vec(),
+            entropy_raw: entropy_raw.to_vec(),
+        });
+        while self.len() > self.capacity_bins && self.chunks.len() > 1 {
+            self.chunks.pop_front();
+        }
+        Ok(())
+    }
+
+    /// Fits the three subspace models on the window's current contents —
+    /// merged chunk moments for the first round, then the configured
+    /// clean-training trimming rounds (`refit_rounds`, same semantics and
+    /// same row test as the batch [`Diagnoser`](crate::Diagnoser)), with
+    /// every round's models calibrated on its training rows so
+    /// [`ThresholdPolicy::Empirical`](entromine_subspace::ThresholdPolicy::Empirical)
+    /// works out of the box.
+    ///
+    /// The result is a pure function of the pushed-bin history and the
+    /// config: an offline replay of the same pushes produces bit-identical
+    /// models, which is what makes online refits auditable.
+    ///
+    /// # Errors
+    ///
+    /// `BadConfig` on an invalid `alpha`; `BadDataset` with fewer than 4
+    /// bins; any fit error from the subspace layer.
+    pub fn fit(&self, config: &DiagnoserConfig) -> Result<FittedDiagnoser, DiagnosisError> {
+        config.validate_alpha()?;
+        let n_bins = self.len();
+        if n_bins < 4 {
+            return Err(DiagnosisError::BadDataset(
+                "need at least 4 bins to model variation",
+            ));
+        }
+        let rows: Vec<&WindowRow> = self.chunks.iter().flat_map(|c| c.rows.iter()).collect();
+
+        // Round 0: Chan-merge the chunk moments — the cheap path that
+        // makes routine refits O(chunks · p²) instead of O(bins · p²).
+        let mut chunks = self.chunks.iter();
+        let first = chunks.next().expect("non-empty window");
+        let mut bytes = first.bytes.clone();
+        let mut packets = first.packets.clone();
+        let mut entropy = first.entropy.clone();
+        for c in chunks {
+            bytes.merge(&c.bytes).map_err(subspace_err)?;
+            packets.merge(&c.packets).map_err(subspace_err)?;
+            entropy.merge(&c.entropy)?;
+        }
+        let mut fitted = self.fit_models(config, &bytes, &packets, entropy, &rows)?;
+
+        for _ in 0..config.refit_rounds {
+            // Same trimming statistic as the batch pipeline: SPE or
+            // Hotelling's T² on any detector.
+            let gate = fitted.suspicion_gate(config.alpha)?;
+            let mut clean: Vec<&WindowRow> = Vec::with_capacity(rows.len());
+            for row in &rows {
+                if !fitted.row_suspicious(&gate, &row.bytes, &row.packets, &row.entropy_raw)? {
+                    clean.push(row);
+                }
+            }
+            let flagged = rows.len() - clean.len();
+            if flagged == 0 {
+                break;
+            }
+            if flagged as f64 > config.max_excluded_fraction * n_bins as f64 {
+                // Implausibly many exclusions: trust the current fit.
+                break;
+            }
+            if clean.len() < 4 {
+                break;
+            }
+            // Trimmed rounds re-accumulate the surviving rows — the
+            // subset has no precomputed chunk moments.
+            let p = self.n_flows;
+            let mut bytes = MomentAccumulator::new(p);
+            let mut packets = MomentAccumulator::new(p);
+            let mut entropy = MultiwayFitter::new(p, entromine_subspace::DimSelection::Fixed(1))?;
+            for row in &clean {
+                bytes.push(&row.bytes).map_err(subspace_err)?;
+                packets.push(&row.packets).map_err(subspace_err)?;
+                entropy.push_row(&row.entropy_raw)?;
+            }
+            fitted = self.fit_models(config, &bytes, &packets, entropy, &clean)?;
+        }
+        Ok(fitted)
+    }
+
+    /// One fit round: models from moments, calibrated on the round's
+    /// training rows.
+    fn fit_models(
+        &self,
+        config: &DiagnoserConfig,
+        bytes: &MomentAccumulator,
+        packets: &MomentAccumulator,
+        entropy: MultiwayFitter,
+        training_rows: &[&WindowRow],
+    ) -> Result<FittedDiagnoser, DiagnosisError> {
+        let p = self.n_flows;
+        let strategy = config.strategy;
+        let mut bytes_model =
+            SubspaceModel::fit_from_moments_with(bytes, config.capped_dim(p), strategy)?;
+        let mut packets_model =
+            SubspaceModel::fit_from_moments_with(packets, config.capped_dim(p), strategy)?;
+        let mut entropy_model = entropy
+            .with_dim(config.capped_dim(4 * p))
+            .with_strategy(strategy)
+            .finish()?;
+        // Streamed fits are born uncalibrated; the retained rows supply
+        // the training-SPE order statistics (in the same units each model
+        // scores in), matching the batch fit's auto-calibration.
+        bytes_model.calibrate_with_rows(training_rows.iter().map(|r| r.bytes.as_slice()))?;
+        packets_model.calibrate_with_rows(training_rows.iter().map(|r| r.packets.as_slice()))?;
+        entropy_model
+            .calibrate_with_raw_rows(training_rows.iter().map(|r| r.entropy_raw.as_slice()))?;
+        Ok(FittedDiagnoser::from_parts(
+            *config,
+            bytes_model,
+            packets_model,
+            entropy_model,
+        ))
+    }
+}
+
+/// The linalg error path of the window plumbing, routed through the same
+/// conversion the subspace layer uses.
+fn subspace_err(e: entromine_linalg::LinalgError) -> DiagnosisError {
+    DiagnosisError::Subspace(entromine_subspace::SubspaceError::from(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entromine_subspace::ThresholdPolicy;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Pushes `bins` synthetic diurnal bins into a window.
+    fn feed(window: &mut TrainingWindow, bins: std::ops::Range<usize>, seed: u64) {
+        let p = window.n_flows();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Per-flow gains drawn once so every bin shares latent structure.
+        let gains: Vec<f64> = (0..p).map(|_| 1.0 + rng.random::<f64>()).collect();
+        for bin in bins {
+            let phase = (bin as f64 / 288.0) * std::f64::consts::TAU;
+            let mut rng = StdRng::seed_from_u64(seed ^ (bin as u64).wrapping_mul(0x9E37));
+            let bytes: Vec<f64> = gains
+                .iter()
+                .map(|g| 1e5 * g * (1.0 + 0.2 * phase.sin()) + 500.0 * rng.random::<f64>())
+                .collect();
+            let packets: Vec<f64> = bytes.iter().map(|b| b / 100.0).collect();
+            let entropy: Vec<f64> = (0..4 * p)
+                .map(|j| gains[j % p] * (2.0 + 0.3 * phase.cos()) + 0.05 * rng.random::<f64>())
+                .collect();
+            window.push_bin(bin, &bytes, &packets, &entropy).unwrap();
+        }
+    }
+
+    #[test]
+    fn config_validated() {
+        assert!(TrainingWindow::new(1, 10, 5).is_err());
+        assert!(TrainingWindow::new(4, 0, 1).is_err());
+        assert!(TrainingWindow::new(4, 10, 0).is_err());
+        assert!(TrainingWindow::new(4, 10, 11).is_err());
+        assert!(TrainingWindow::new(4, 10, 10).is_ok());
+    }
+
+    #[test]
+    fn rolls_whole_chunks() {
+        let mut w = TrainingWindow::new(3, 12, 4).unwrap();
+        feed(&mut w, 0..12, 1);
+        assert_eq!(w.len(), 12);
+        assert_eq!(w.bins().first(), Some(&0));
+        // One more bin: the oldest chunk (bins 0..4) rolls out.
+        feed(&mut w, 12..13, 1);
+        assert_eq!(w.len(), 9);
+        assert_eq!(w.bins().first(), Some(&4));
+        assert_eq!(w.bins().last(), Some(&12));
+    }
+
+    #[test]
+    fn row_lengths_validated() {
+        let mut w = TrainingWindow::new(3, 8, 4).unwrap();
+        assert!(w.push_bin(0, &[1.0; 2], &[1.0; 3], &[1.0; 12]).is_err());
+        assert!(w.push_bin(0, &[1.0; 3], &[1.0; 3], &[1.0; 11]).is_err());
+        assert!(w.push_bin(0, &[1.0; 3], &[1.0; 3], &[1.0; 12]).is_ok());
+    }
+
+    #[test]
+    fn fit_requires_enough_bins() {
+        let mut w = TrainingWindow::new(4, 20, 5).unwrap();
+        feed(&mut w, 0..3, 2);
+        assert!(matches!(
+            w.fit(&DiagnoserConfig::default()),
+            Err(DiagnosisError::BadDataset(_))
+        ));
+    }
+
+    #[test]
+    fn window_fit_is_a_pure_function_of_the_push_history() {
+        // Two windows fed the same history must fit bit-identical models:
+        // the property that makes online refits auditable offline.
+        let config = DiagnoserConfig {
+            dim: entromine_subspace::DimSelection::Fixed(2),
+            ..Default::default()
+        };
+        let mut a = TrainingWindow::new(5, 60, 16).unwrap();
+        let mut b = TrainingWindow::new(5, 60, 16).unwrap();
+        feed(&mut a, 0..90, 3);
+        feed(&mut b, 0..90, 3);
+        let fa = a.fit(&config).unwrap();
+        let fb = b.fit(&config).unwrap();
+        let probe_bytes = vec![1.0e5; 5];
+        let probe_entropy = vec![2.0; 20];
+        assert_eq!(
+            fa.bytes_model().spe(&probe_bytes).unwrap(),
+            fb.bytes_model().spe(&probe_bytes).unwrap()
+        );
+        assert_eq!(
+            fa.entropy_model().spe(&probe_entropy).unwrap(),
+            fb.entropy_model().spe(&probe_entropy).unwrap()
+        );
+        assert_eq!(
+            fa.bytes_model().threshold(0.999).unwrap(),
+            fb.bytes_model().threshold(0.999).unwrap()
+        );
+    }
+
+    #[test]
+    fn empirical_policy_fits_calibrated_models() {
+        let config = DiagnoserConfig {
+            dim: entromine_subspace::DimSelection::Fixed(2),
+            threshold_policy: ThresholdPolicy::Empirical,
+            refit_rounds: 1,
+            ..Default::default()
+        };
+        let mut w = TrainingWindow::new(5, 100, 25).unwrap();
+        feed(&mut w, 0..100, 4);
+        let fitted = w.fit(&config).unwrap();
+        // Empirical thresholds are available immediately — the window fit
+        // calibrated every model on its training rows.
+        assert!(fitted
+            .bytes_model()
+            .threshold_with(0.99, ThresholdPolicy::Empirical)
+            .is_ok());
+        assert!(fitted
+            .entropy_model()
+            .threshold_with(0.99, ThresholdPolicy::Empirical)
+            .is_ok());
+        // And the sharpness surface reports the 100-bin window cannot
+        // resolve alpha = 0.999.
+        let warnings = fitted.sharpness_warnings(0.999);
+        assert_eq!(warnings.len(), 3);
+        assert!(warnings.iter().all(|(_, w)| w.required_bins == 1000));
+    }
+}

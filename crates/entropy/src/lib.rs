@@ -25,6 +25,10 @@
 //!   builder that keeps accumulators only for open bins and emits
 //!   finalized per-bin rows as event time advances, so live feeds never
 //!   materialize the full grid.
+//! * [`shard`] — the sharded ingest plane: flows hash-partitioned across
+//!   per-shard builders behind a watermark coordinator, with scoped-thread
+//!   batch fan-out, emitting bit-identical `FinalizedBin` rows to the
+//!   serial builder at any shard count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +36,7 @@
 mod accum;
 mod hist;
 mod metrics;
+pub mod shard;
 pub mod stream;
 mod tensor;
 
@@ -40,6 +45,7 @@ pub use hist::FeatureHistogram;
 pub use metrics::{
     distinct_count, gini_coefficient, normalized_entropy, sample_entropy, simpson_index,
 };
+pub use shard::ShardedGridBuilder;
 pub use stream::{FinalizedBin, StreamConfig, StreamError, StreamingGridBuilder};
 pub use tensor::{EntropyTensor, TensorBuilder, VolumeMatrix};
 

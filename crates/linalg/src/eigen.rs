@@ -467,7 +467,13 @@ pub fn top_k_eigen_detailed(
     ))
 }
 
-/// `A·[x₁ … x_b]` for square `A`, as one blocked product.
+/// Accumulator width of the blocked multiply: 32 f64 lanes fit comfortably
+/// in registers and cover `k + OVERSAMPLE` for every normal-subspace
+/// dimension the pipeline uses; wider blocks just take another panel pass.
+const ACC: usize = 32;
+
+/// `A·[x₁ … x_b]` for square `A`, as one blocked product with scoped-thread
+/// row fan-out.
 ///
 /// The subspace iteration's cost is entirely this multiply, so it gets a
 /// dedicated kernel: the block is packed row-major (so the inner loop is
@@ -475,37 +481,103 @@ pub fn top_k_eigen_detailed(
 /// once per column, and each output row accumulates in a fixed-size stack
 /// array that the compiler keeps in vector registers across the whole
 /// `k` scan. Blocks wider than the accumulator are processed in panels.
-fn block_matvec(a: &Mat, cols: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    /// Accumulator width: 32 f64 lanes fit comfortably in registers and
-    /// cover `k + OVERSAMPLE` for every normal-subspace dimension the
-    /// pipeline uses; wider blocks just take another panel pass.
-    const ACC: usize = 32;
+///
+/// When the flop count justifies spawn overhead, contiguous row blocks of
+/// the output fan out over the crate's scoped-thread worker pool
+/// ([`par::workers_for`](crate::par::workers_for), ≤16 workers). Every
+/// output element is accumulated in the same order as the serial kernel,
+/// so the result is **bitwise identical** at any worker count —
+/// [`block_matvec_serial`] is the single-threaded reference it is pinned
+/// against in tests.
+pub fn block_matvec(a: &Mat, cols: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let n = a.rows();
     let b = cols.len();
-    let mut out = vec![vec![0.0; n]; b];
+    if b == 0 {
+        return Vec::new();
+    }
+    // Two flops per (output row, A column, block column) accumulation.
+    let workers = crate::par::workers_for(2 * n * n * b);
+    if workers <= 1 {
+        return block_matvec_serial(a, cols);
+    }
+    let packed = pack_columns(cols, n, b);
+    let mut flat = vec![0.0f64; n * b];
+    let ranges = crate::par::even_ranges(n, workers);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [f64] = &mut flat;
+        for r in &ranges {
+            let (mine, tail) = rest.split_at_mut(r.len() * b);
+            rest = tail;
+            let (a, packed, rows) = (&*a, &packed, r.clone());
+            scope.spawn(move || matvec_rows(a, packed, rows, mine));
+        }
+    });
+    unpack_rows(&flat, n, b)
+}
+
+/// Single-threaded reference for [`block_matvec`]: same packing, same
+/// per-element accumulation order, no fan-out. Kept public so benches and
+/// tests can pin the parallel kernel against it.
+pub fn block_matvec_serial(a: &Mat, cols: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.rows();
+    let b = cols.len();
+    if b == 0 {
+        return Vec::new();
+    }
+    let packed = pack_columns(cols, n, b);
+    let mut flat = vec![0.0f64; n * b];
+    matvec_rows(a, &packed, 0..n, &mut flat);
+    unpack_rows(&flat, n, b)
+}
+
+/// Packs the block columns row-major (`packed[(i, j)] = cols[j][i]`) so
+/// the multiply's inner loop reads contiguously.
+fn pack_columns(cols: &[Vec<f64>], n: usize, b: usize) -> Mat {
+    let mut packed = Mat::zeros(n, b);
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            packed[(i, j)] = v;
+        }
+    }
+    packed
+}
+
+/// Computes output rows `rows` of `A·packed` into `out` (row-major,
+/// `rows.len() × b`), in panels of [`ACC`] columns. This is the one
+/// arithmetic path of the blocked multiply: serial and fanned-out calls
+/// run exactly this element order.
+fn matvec_rows(a: &Mat, packed: &Mat, rows: std::ops::Range<usize>, out: &mut [f64]) {
+    let b = packed.cols();
+    let mut acc = [0.0f64; ACC];
     let mut panel_start = 0;
     while panel_start < b {
         let panel = (b - panel_start).min(ACC);
-        // Pack this panel of columns row-major for contiguous access.
-        let mut packed = Mat::zeros(n, panel);
-        for (j, col) in cols[panel_start..panel_start + panel].iter().enumerate() {
-            for (i, &v) in col.iter().enumerate() {
-                packed[(i, j)] = v;
-            }
-        }
-        let mut acc = [0.0f64; ACC];
-        for (i, a_row) in a.row_iter().enumerate() {
+        for (local, i) in rows.clone().enumerate() {
             acc[..panel].fill(0.0);
-            for (&aik, prow) in a_row.iter().zip(packed.row_iter()) {
-                for (slot, &p) in acc[..panel].iter_mut().zip(prow) {
+            for (&aik, prow) in a.row(i).iter().zip(packed.row_iter()) {
+                for (slot, &p) in acc[..panel]
+                    .iter_mut()
+                    .zip(&prow[panel_start..panel_start + panel])
+                {
                     *slot += aik * p;
                 }
             }
             for (j, slot) in acc[..panel].iter().enumerate() {
-                out[panel_start + j][i] = *slot;
+                out[local * b + panel_start + j] = *slot;
             }
         }
         panel_start += panel;
+    }
+}
+
+/// Converts the row-major flat result back to the iteration's
+/// column-vector layout.
+fn unpack_rows(flat: &[f64], n: usize, b: usize) -> Vec<Vec<f64>> {
+    let mut out = vec![vec![0.0; n]; b];
+    for (i, row) in flat.chunks_exact(b).enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            out[j][i] = v;
+        }
     }
     out
 }
@@ -726,6 +798,30 @@ mod tests {
             let d = dot(&vf, &vt).abs();
             assert_close(d, 1.0, 1e-6);
         }
+    }
+
+    #[test]
+    fn block_matvec_parallel_is_bitwise_serial() {
+        // The fan-out must be invisible in the bits: same packing, same
+        // accumulation order per output element. The shapes below force
+        // the parallel path past the spawn-overhead work gate (n² · b
+        // flops) while staying fast enough for a unit test.
+        let mut rng = StdRng::seed_from_u64(17);
+        for (n, b) in [(1usize, 1usize), (37, 3), (257, 18), (601, 40)] {
+            let a = Mat::from_fn(n, n, |i, j| {
+                ((i * 31 + j * 17) % 101) as f64 / 101.0 + rng.random::<f64>() * 1e-3
+            });
+            let cols: Vec<Vec<f64>> = (0..b)
+                .map(|_| (0..n).map(|_| rng.random::<f64>() - 0.5).collect())
+                .collect();
+            let serial = block_matvec_serial(&a, &cols);
+            let fanned = block_matvec(&a, &cols);
+            assert_eq!(serial, fanned, "divergence at n={n}, b={b}");
+        }
+        // Degenerate block: no columns, no output.
+        let a = Mat::identity(3);
+        assert!(block_matvec(&a, &[]).is_empty());
+        assert!(block_matvec_serial(&a, &[]).is_empty());
     }
 
     #[test]

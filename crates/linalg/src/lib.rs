@@ -12,7 +12,13 @@
 //! * [`top_k_eigen`] / [`top_k_eigen_detailed`] — blocked subspace
 //!   iteration with Ritz locking, residual-norm convergence, and
 //!   oversampling for the leading `k` eigenpairs: the production engine of
-//!   partial-spectrum fits.
+//!   partial-spectrum fits. Its block multiply ([`block_matvec`]) fans
+//!   output rows over the scoped-thread worker pool, bitwise-pinned
+//!   against [`block_matvec_serial`].
+//! * [`par`] — the shared worker-sizing policy (`workers_for`, ≤16
+//!   threads) and range partitioners behind every scoped-thread kernel,
+//!   public so other layers (the sharded ingest plane) share one fan-out
+//!   discipline.
 //! * [`Spectrum`] — a partial eigenspectrum plus *exact* full-spectrum
 //!   power sums via trace identities (`tr C`, `‖C‖²_F`, `tr C³` — the
 //!   latter by a blocked scoped-thread kernel, [`sym_trace_cubed`]), which
@@ -65,13 +71,16 @@ mod eigen;
 mod error;
 mod matrix;
 mod moments;
-mod par;
+pub mod par;
 mod pca;
 mod solve;
 mod spectrum;
 pub mod stats;
 
-pub use eigen::{sym_eigen, top_k_eigen, top_k_eigen_detailed, SymEigen, TopKInfo};
+pub use eigen::{
+    block_matvec, block_matvec_serial, sym_eigen, top_k_eigen, top_k_eigen_detailed, SymEigen,
+    TopKInfo,
+};
 pub use error::LinalgError;
 pub use matrix::Mat;
 pub use moments::MomentAccumulator;

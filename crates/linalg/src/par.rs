@@ -1,6 +1,6 @@
-//! Scoped-thread partitioning for the blocked symmetric products.
+//! Scoped-thread partitioning for the blocked kernels.
 //!
-//! Both symmetric kernels in this crate — [`Mat::covariance`] (`XᵀX` over
+//! The symmetric kernels in this crate — [`Mat::covariance`] (`XᵀX` over
 //! centered columns) and the Gram product behind [`Pca::fit_gram`]
 //! (`XXᵀ` over centered rows) — fill only the upper triangle of their
 //! output and mirror it afterwards. Parallelizing them is therefore a
@@ -13,20 +13,28 @@
 //! The triangle makes equal-width blocks badly imbalanced (row `i` of an
 //! `n×n` upper triangle holds `n - i` elements), so [`triangle_ranges`]
 //! chooses block boundaries that equalize the *element* count per worker
-//! instead of the row count.
+//! instead of the row count. Rectangular kernels ([`block_matvec`] in the
+//! subspace iteration) split plain row ranges via [`even_ranges`].
+//!
+//! The sizing policy ([`workers_for`], [`MAX_THREADS`]) is exported so
+//! other layers with the same shape of problem — notably the sharded
+//! streaming ingest plane in `entromine-entropy` — share one fan-out
+//! discipline instead of inventing their own.
 //!
 //! [`Mat::covariance`]: crate::Mat::covariance
 //! [`Pca::fit_gram`]: crate::Pca::fit_gram
+//! [`block_matvec`]: crate::block_matvec
 
 use std::ops::Range;
 
 /// Worker cap, matching the fan-out cap used by the synthetic generator.
-pub(crate) const MAX_THREADS: usize = 16;
+pub const MAX_THREADS: usize = 16;
 
-/// Number of workers for a symmetric product with `work` accumulation
-/// flops: the machine's available parallelism, capped at [`MAX_THREADS`],
-/// and 1 when the problem is too small for spawn overhead to pay off.
-pub(crate) fn workers_for(work: usize) -> usize {
+/// Number of workers for a kernel with `work` accumulation flops (or an
+/// equivalent per-element cost unit): the machine's available parallelism,
+/// capped at [`MAX_THREADS`], and 1 when the problem is too small for
+/// spawn overhead to pay off.
+pub fn workers_for(work: usize) -> usize {
     // Spawning a thread costs on the order of tens of microseconds; only
     // fan out when each worker gets millions of flops to chew on.
     const MIN_WORK_PER_THREAD: usize = 4_000_000;
@@ -40,7 +48,7 @@ pub(crate) fn workers_for(work: usize) -> usize {
 /// Splits the row indices `0..n` of an `n×n` upper triangle into at most
 /// `workers` contiguous ranges with approximately equal element counts
 /// `Σ (n - i)`.
-pub(crate) fn triangle_ranges(n: usize, workers: usize) -> Vec<Range<usize>> {
+pub fn triangle_ranges(n: usize, workers: usize) -> Vec<Range<usize>> {
     let workers = workers.max(1).min(n.max(1));
     let total = n * (n + 1) / 2;
     let per_worker = total.div_ceil(workers.max(1)).max(1);
@@ -57,6 +65,26 @@ pub(crate) fn triangle_ranges(n: usize, workers: usize) -> Vec<Range<usize>> {
     }
     if start < n {
         ranges.push(start..n);
+    }
+    ranges
+}
+
+/// Splits `0..n` into at most `workers` contiguous ranges of nearly equal
+/// length (the first `n % workers` ranges carry one extra element). Every
+/// index is covered exactly once; empty ranges are never emitted.
+pub fn even_ranges(n: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.clamp(1, n.max(1));
+    let base = n / workers;
+    let extra = n % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        if len == 0 {
+            break;
+        }
+        ranges.push(start..start + len);
+        start += len;
     }
     ranges
 }
@@ -105,5 +133,30 @@ mod tests {
         assert_eq!(workers_for(0), 1);
         assert_eq!(workers_for(1000), 1);
         assert!(workers_for(usize::MAX / 2) <= MAX_THREADS);
+    }
+
+    #[test]
+    fn even_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 2, 7, 64, 481] {
+            for workers in [1usize, 2, 3, 8, 16] {
+                let ranges = even_ranges(n, workers);
+                let mut covered = vec![false; n];
+                for r in &ranges {
+                    assert!(!r.is_empty(), "empty range emitted (n={n})");
+                    for i in r.clone() {
+                        assert!(!covered[i], "index {i} covered twice (n={n})");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "gap in coverage (n={n})");
+                // Balanced to within one element.
+                if let (Some(max), Some(min)) = (
+                    ranges.iter().map(Range::len).max(),
+                    ranges.iter().map(Range::len).min(),
+                ) {
+                    assert!(max - min <= 1, "imbalanced: {max} vs {min}");
+                }
+            }
+        }
     }
 }

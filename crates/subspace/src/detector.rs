@@ -223,6 +223,19 @@ impl SubspaceModel {
         self.calibration.as_deref()
     }
 
+    /// Structured sharpness warning for an empirical threshold at `alpha`:
+    /// `Some` when the calibration sample is too small to resolve the
+    /// requested quantile (see
+    /// [`EmpiricalSharpness`](crate::EmpiricalSharpness)), `None` when the
+    /// sample suffices or the model carries no calibration at all (the
+    /// threshold call reports that case as
+    /// [`SubspaceError::NotCalibrated`]).
+    pub fn empirical_sharpness(&self, alpha: f64) -> Option<crate::EmpiricalSharpness> {
+        self.calibration
+            .as_deref()
+            .and_then(|sample| crate::qstat::empirical_sharpness(sample.len(), alpha))
+    }
+
     /// Dimension of the normal subspace.
     pub fn normal_dim(&self) -> usize {
         self.m
@@ -642,6 +655,25 @@ mod tests {
         // Empty calibration input is rejected.
         let mut fresh = SubspaceModel::fit_from_moments(&acc, DimSelection::Fixed(3)).unwrap();
         assert!(fresh.calibrate_with_rows(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn sharpness_warning_reflects_calibration_size() {
+        let x = synthetic_traffic(300, 8, 0.4, 30);
+        let model = SubspaceModel::fit(&x, DimSelection::Fixed(2)).unwrap();
+        // 300 training bins resolve alpha = 0.99 but not 0.999.
+        assert!(model.empirical_sharpness(0.99).is_none());
+        let warn = model.empirical_sharpness(0.999).expect("must warn");
+        assert_eq!(warn.training_bins, 300);
+        assert_eq!(warn.required_bins, 1000);
+        // Uncalibrated streamed fits have nothing to warn about — the
+        // empirical threshold itself errors with NotCalibrated.
+        let mut acc = entromine_linalg::MomentAccumulator::new(8);
+        for row in x.row_iter() {
+            acc.push(row).unwrap();
+        }
+        let streamed = SubspaceModel::fit_from_moments(&acc, DimSelection::Fixed(2)).unwrap();
+        assert!(streamed.empirical_sharpness(0.999).is_none());
     }
 
     #[test]

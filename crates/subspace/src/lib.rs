@@ -47,7 +47,8 @@ pub use error::SubspaceError;
 pub use ident::FlowContribution;
 pub use multiway::{MultiwayFitter, MultiwayModel, MultiwayScorer};
 pub use qstat::{
-    empirical_quantile, q_statistic_threshold, q_threshold_from_power_sums, ThresholdPolicy,
+    empirical_quantile, empirical_sharpness, q_statistic_threshold, q_threshold_from_power_sums,
+    EmpiricalSharpness, ThresholdPolicy,
 };
 
 /// Re-export of the fit-engine selector threaded through every fit path.

@@ -195,6 +195,13 @@ impl MultiwayModel {
             .calibrate_with_rows(normalized.iter().map(Vec::as_slice))
     }
 
+    /// Structured sharpness warning for an empirical threshold at
+    /// `alpha`, read from the inner model's calibration (see
+    /// [`SubspaceModel::empirical_sharpness`]).
+    pub fn empirical_sharpness(&self, alpha: f64) -> Option<crate::EmpiricalSharpness> {
+        self.model.empirical_sharpness(alpha)
+    }
+
     /// Hotelling's T² of a raw unfolded row (see
     /// [`SubspaceModel::t2`](crate::SubspaceModel::t2)).
     pub fn t2(&self, raw: &[f64]) -> Result<f64, SubspaceError> {
@@ -374,9 +381,47 @@ impl MultiwayFitter {
         self
     }
 
+    /// Re-selects the normal-subspace dimension used by
+    /// [`fit`](Self::fit) / [`finish`](Self::finish). Rolling-window
+    /// monitors accumulate chunks long before fitting; this lets the
+    /// dimension be chosen at fit time without re-absorbing the window.
+    pub fn with_dim(mut self, dim: DimSelection) -> Self {
+        self.dim = dim;
+        self
+    }
+
     /// Number of rows absorbed so far.
     pub fn count(&self) -> usize {
         self.moments.count()
+    }
+
+    /// Number of OD flows `p` the fitter was built for.
+    pub fn n_flows(&self) -> usize {
+        self.n_flows
+    }
+
+    /// Merges another fitter over a **disjoint** row set into this one:
+    /// Chan's pairwise moment combination plus energy sums. This is the
+    /// window-roll primitive of a rolling-model monitor — each window
+    /// chunk streams into its own fitter, and a refit merges the
+    /// surviving chunks instead of replaying their rows.
+    ///
+    /// The merged fitter keeps `self`'s dimension selection and engine.
+    ///
+    /// # Errors
+    ///
+    /// `BadInput` if the flow counts differ.
+    pub fn merge(&mut self, other: &MultiwayFitter) -> Result<(), SubspaceError> {
+        if other.n_flows != self.n_flows {
+            return Err(SubspaceError::BadInput(
+                "cannot merge fitters over different flow counts",
+            ));
+        }
+        self.moments.merge(&other.moments)?;
+        for (e, &o) in self.energies.iter_mut().zip(&other.energies) {
+            *e += o;
+        }
+        Ok(())
     }
 
     /// Absorbs one raw (un-normalized) unfolded row of length `4p`.
@@ -425,6 +470,15 @@ impl MultiwayFitter {
             divisors,
             n_flows: p,
         })
+    }
+
+    /// Like [`finish`](Self::finish) without consuming the fitter — the
+    /// rolling-window entry point, where the same accumulated window must
+    /// survive to be merged into the *next* refit. Costs one clone of the
+    /// accumulated moments; callers done with the fitter should prefer
+    /// `finish`.
+    pub fn fit(&self) -> Result<MultiwayModel, SubspaceError> {
+        self.clone().finish()
     }
 }
 
@@ -604,6 +658,74 @@ mod tests {
             let b = streamed.spe(&row).unwrap();
             assert!((a - b).abs() < 1e-6 * (1.0 + a), "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn merged_chunk_fitters_match_one_big_fitter() {
+        // The window-roll primitive: three chunk fitters over disjoint row
+        // ranges, Chan-merged, must agree with a single fitter that
+        // absorbed every row — same divisors bit-for-bit (energy sums are
+        // associative enough to test to round-off) and matching models.
+        let tensor = build_tensor(240, 6, 0.2, 11, None);
+        let mut whole = MultiwayFitter::new(6, DimSelection::Fixed(2)).unwrap();
+        let mut chunks: Vec<MultiwayFitter> = (0..3)
+            .map(|_| MultiwayFitter::new(6, DimSelection::Fixed(2)).unwrap())
+            .collect();
+        for bin in 0..tensor.n_bins() {
+            let row = tensor.unfolded_row(bin);
+            whole.push_row(&row).unwrap();
+            chunks[bin / 80].push_row(&row).unwrap();
+        }
+        let mut merged = chunks[0].clone();
+        merged.merge(&chunks[1]).unwrap();
+        merged.merge(&chunks[2]).unwrap();
+        assert_eq!(merged.count(), 240);
+        assert_eq!(merged.n_flows(), 6);
+
+        let a = whole.fit().unwrap();
+        let b = merged.fit().unwrap();
+        for (da, db) in a.divisors().iter().zip(b.divisors()) {
+            assert!((da - db).abs() < 1e-9 * da.abs().max(1.0));
+        }
+        let ta = a.threshold(0.999).unwrap();
+        let tb = b.threshold(0.999).unwrap();
+        assert!((ta - tb).abs() < 1e-6 * (1.0 + ta), "{ta} vs {tb}");
+        for bin in [0usize, 100, 239] {
+            let row = tensor.unfolded_row(bin);
+            let sa = a.spe(&row).unwrap();
+            let sb = b.spe(&row).unwrap();
+            assert!((sa - sb).abs() < 1e-6 * (1.0 + sa), "{sa} vs {sb}");
+        }
+        // Mismatched widths refuse to merge.
+        let narrow = MultiwayFitter::new(3, DimSelection::Fixed(1)).unwrap();
+        assert!(merged.merge(&narrow).is_err());
+    }
+
+    #[test]
+    fn fit_does_not_consume_and_equals_finish() {
+        let tensor = build_tensor(60, 4, 0.3, 12, None);
+        let mut fitter = MultiwayFitter::new(4, DimSelection::Fixed(1)).unwrap();
+        for bin in 0..tensor.n_bins() {
+            fitter.push_row(&tensor.unfolded_row(bin)).unwrap();
+        }
+        let via_fit = fitter.fit().unwrap();
+        // The fitter survives `fit` and keeps absorbing.
+        fitter.push_row(&tensor.unfolded_row(0)).unwrap();
+        assert_eq!(fitter.count(), 61);
+        let via_finish = {
+            let mut clone = MultiwayFitter::new(4, DimSelection::Fixed(1)).unwrap();
+            for bin in 0..tensor.n_bins() {
+                clone.push_row(&tensor.unfolded_row(bin)).unwrap();
+            }
+            clone.finish().unwrap()
+        };
+        assert_eq!(via_fit.divisors(), via_finish.divisors());
+        let row = tensor.unfolded_row(30);
+        assert_eq!(
+            via_fit.spe(&row).unwrap(),
+            via_finish.spe(&row).unwrap(),
+            "fit and finish must be the same computation"
+        );
     }
 
     #[test]

@@ -133,6 +133,67 @@ pub fn q_threshold_from_power_sums(
     Ok(phi1 * term.powf(1.0 / h0))
 }
 
+/// A structured warning that an empirical threshold is under-resolved:
+/// the calibration sample is too small for the requested `α` quantile to
+/// be sharp.
+///
+/// The `α` order statistic of a `t`-bin sample is only resolved by the
+/// data when the sample is expected to put mass above it — i.e. when
+/// `t · (1 − α) ≥ 1`. Below that ([`required_bins`] bins, e.g. 1000 bins
+/// at `α = 0.999`), [`empirical_quantile`] interpolates against (or
+/// saturates at) the sample maximum: the threshold becomes an extreme
+/// value estimate with high variance, and the realized false-alarm rate
+/// can sit well off `1 − α`. This is a *warning*, not an error — the
+/// threshold is still the best available order statistic — so callers
+/// surface it (structured, never a panic) and operators decide whether to
+/// lengthen the window or fall back to Jackson–Mudholkar.
+///
+/// [`required_bins`]: EmpiricalSharpness::required_bins
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmpiricalSharpness {
+    /// Bins in the calibration sample.
+    pub training_bins: usize,
+    /// The confidence level the threshold was requested at.
+    pub alpha: f64,
+    /// Minimum sample size at which the `alpha` quantile is resolved by
+    /// the data: `ceil(1 / (1 − alpha))`.
+    pub required_bins: usize,
+}
+
+impl std::fmt::Display for EmpiricalSharpness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "empirical alpha={} quantile is under-resolved: {} training bins < {} required \
+             (threshold rides the sample maximum; lengthen the window or use Jackson-Mudholkar)",
+            self.alpha, self.training_bins, self.required_bins
+        )
+    }
+}
+
+/// Checks whether a `training_bins`-sized calibration sample resolves the
+/// `alpha` quantile, returning the structured warning when it does not.
+/// Returns `None` for sufficient samples and for out-of-range `alpha`
+/// (which the threshold call itself rejects as an error).
+pub fn empirical_sharpness(training_bins: usize, alpha: f64) -> Option<EmpiricalSharpness> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return None;
+    }
+    let required = (1.0 / (1.0 - alpha)).ceil();
+    // Guard the cast: alpha within a few ULP of 1.0 demands an absurd
+    // sample; saturate rather than overflow.
+    let required_bins = if required.is_finite() && required < usize::MAX as f64 {
+        required as usize
+    } else {
+        usize::MAX
+    };
+    (training_bins < required_bins).then_some(EmpiricalSharpness {
+        training_bins,
+        alpha,
+        required_bins,
+    })
+}
+
 /// The `alpha` quantile of a **sorted ascending** SPE sample, by linear
 /// interpolation of the order statistics: the empirical threshold `δ²_α`.
 ///
@@ -284,6 +345,28 @@ mod tests {
         assert_eq!(empirical_quantile(&[7.0], 0.9).unwrap(), 7.0);
         assert!(empirical_quantile(&[], 0.9).is_err());
         assert!(empirical_quantile(&sorted, 1.0).is_err());
+    }
+
+    #[test]
+    fn sharpness_guard_flags_small_samples() {
+        // The satellite example: alpha = 0.999 needs >= 1000 bins.
+        let warn = empirical_sharpness(300, 0.999).expect("must warn");
+        assert_eq!(warn.required_bins, 1000);
+        assert_eq!(warn.training_bins, 300);
+        assert!(warn.to_string().contains("300"));
+        assert!(warn.to_string().contains("1000"));
+        assert!(empirical_sharpness(999, 0.999).is_some());
+        assert!(empirical_sharpness(1000, 0.999).is_none());
+        // Lower alpha is satisfied by modest windows.
+        assert!(empirical_sharpness(300, 0.99).is_none());
+        assert!(empirical_sharpness(50, 0.99).is_some());
+        // Out-of-range alpha is the threshold call's error, not a warning.
+        assert!(empirical_sharpness(10, 1.0).is_none());
+        assert!(empirical_sharpness(10, -0.5).is_none());
+        assert!(empirical_sharpness(10, f64::NAN).is_none());
+        // Alpha pathologically close to 1 stays finite and sane.
+        let extreme = empirical_sharpness(10, 1.0 - 1e-12).expect("must warn");
+        assert!(extreme.required_bins > 100_000_000_000);
     }
 
     #[test]
