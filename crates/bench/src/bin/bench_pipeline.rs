@@ -21,6 +21,12 @@
 //!   Q-thresholds cross-checked against the oracle.
 //! * `streaming_ingest` — packets offered through `StreamingGridBuilder`
 //!   to finalized bins, in bins/sec and packets/sec.
+//! * `ingest_combining` — the map-side combining data plane against the
+//!   per-packet serial path over one feed: per-packet offers vs
+//!   `offer_packets` batches vs pre-aggregated flow-record batches, with
+//!   the feed's distinct-run ratio recorded so the speedup is
+//!   interpretable. All paths' `FinalizedBin` outputs are asserted
+//!   bit-identical before timing.
 //! * `ingest_sharded` — the sharded ingest plane (`ShardedGridBuilder`)
 //!   against the serial builder: per-packet serial baseline vs batched
 //!   shard counts 1/2/8. The fan-out is thread-bound, so per-shard
@@ -30,17 +36,19 @@
 //!   width: serial reference vs the scoped-thread row fan-out.
 //! * `score` — `StreamingDiagnoser` throughput over finalized bins.
 //!
-//! `--ingest-smoke` runs only the ingest comparison and prints it to
-//! stdout (the CI regression probe for the parallel path); nothing is
-//! written.
+//! `--ingest-smoke` runs only the ingest comparison — per-packet,
+//! combining, flow-record, and sharded paths, with their outputs asserted
+//! bit-identical — and prints it to stdout (the CI regression probe);
+//! nothing is written.
 
 use entromine::linalg::{block_matvec, block_matvec_serial, sym_eigen, FitStrategy, Pca};
+use entromine::net::flow::{aggregate_bin, FlowRecord};
 use entromine::net::{PacketHeader, Topology};
 use entromine::subspace::{DimSelection, SubspaceModel};
 use entromine::synth::{Dataset, DatasetConfig};
 use entromine::Diagnoser;
 use entromine_bench::traffic_matrix;
-use entromine_entropy::{ShardedGridBuilder, StreamConfig, StreamingGridBuilder};
+use entromine_entropy::{FinalizedBin, ShardedGridBuilder, StreamConfig, StreamingGridBuilder};
 use std::time::Instant;
 
 /// Best-of-`reps` wall-clock milliseconds of `f`.
@@ -67,22 +75,98 @@ struct IngestRun {
     packets_per_sec: f64,
 }
 
-/// Results of the sharded-ingest comparison.
+/// Results of the ingest-plane comparison: the per-packet serial
+/// baseline, the map-side combining batch paths (packet batches and
+/// flow-record batches), and the sharded plane at each requested shard
+/// count — all over the same traffic, all verified to finalize
+/// bit-identical `FinalizedBin` rows before anything is timed.
 struct IngestBench {
     flows: usize,
     bins: usize,
     packets: usize,
+    /// Distinct (flow, bin, feature-tuple) groups in the feed — the
+    /// packets-per-run ratio is what makes the combining speedup
+    /// interpretable.
+    distinct_runs: usize,
+    /// Flow records in the pre-aggregated view of the same traffic.
+    records: usize,
     serial_ms: f64,
+    combined_ms: f64,
+    records_ms: f64,
     runs: Vec<IngestRun>,
+    burst: BurstBench,
 }
 
-/// Benchmarks the ingest planes on one shared pre-materialized feed:
-/// per-packet serial `StreamingGridBuilder` baseline, then batched
-/// `ShardedGridBuilder` at each requested shard count. All runs are
-/// checked to finalize every bin.
+/// The burst-shaped variant: the same generator's traffic with each
+/// sampled packet standing for a back-to-back burst of its flow — the
+/// unsampled-feed shape, where the combining ratio is real instead of
+/// the synthetic sampler's ~1 packet per distinct tuple.
+struct BurstBench {
+    factor: usize,
+    bins: usize,
+    packets: usize,
+    distinct_runs: usize,
+    per_packet_ms: f64,
+    combined_ms: f64,
+}
+
+/// Drives the per-packet serial path over the feed, collecting output.
+fn ingest_per_packet(feed: &[Vec<(usize, PacketHeader)>], p: usize) -> Vec<FinalizedBin> {
+    let mut grid = StreamingGridBuilder::new(StreamConfig::new(p)).unwrap();
+    let mut out = Vec::new();
+    for (bin, batch) in feed.iter().enumerate() {
+        for (flow, pkt) in batch {
+            grid.offer_packet(*flow, pkt).unwrap();
+        }
+        out.extend(grid.advance_watermark((bin + 1) as u64 * DatasetConfig::BIN_SECS));
+    }
+    out
+}
+
+/// Drives the combining batch path over the feed, collecting output.
+fn ingest_combined(feed: &[Vec<(usize, PacketHeader)>], p: usize) -> Vec<FinalizedBin> {
+    let mut grid = StreamingGridBuilder::new(StreamConfig::new(p)).unwrap();
+    let mut out = Vec::new();
+    for (bin, batch) in feed.iter().enumerate() {
+        grid.offer_packets(batch).unwrap();
+        out.extend(grid.advance_watermark((bin + 1) as u64 * DatasetConfig::BIN_SECS));
+    }
+    out
+}
+
+/// Drives the combining path with pre-aggregated flow-record batches.
+fn ingest_records(rec_feed: &[Vec<(usize, FlowRecord)>], p: usize) -> Vec<FinalizedBin> {
+    let mut grid = StreamingGridBuilder::new(StreamConfig::new(p)).unwrap();
+    let mut out = Vec::new();
+    for (bin, batch) in rec_feed.iter().enumerate() {
+        grid.offer_flows(batch).unwrap();
+        out.extend(grid.advance_watermark((bin + 1) as u64 * DatasetConfig::BIN_SECS));
+    }
+    out
+}
+
+/// Drives the sharded plane, collecting output.
+fn ingest_sharded(
+    feed: &[Vec<(usize, PacketHeader)>],
+    p: usize,
+    shards: usize,
+) -> Vec<FinalizedBin> {
+    let mut grid = ShardedGridBuilder::new(StreamConfig::new(p), shards).unwrap();
+    let mut out = Vec::new();
+    for (bin, batch) in feed.iter().enumerate() {
+        grid.offer_packets(batch).unwrap();
+        out.extend(grid.advance_watermark((bin + 1) as u64 * DatasetConfig::BIN_SECS));
+    }
+    out
+}
+
+/// Benchmarks the ingest planes on one shared pre-materialized feed. All
+/// paths are first run once, unmeasured, and their `FinalizedBin` output
+/// asserted bit-identical — the bench doubles as the CI smoke check that
+/// combining is invisible in the output.
 fn bench_ingest(shard_counts: &[usize]) -> IngestBench {
     // A heavier feed than the serial `streaming_ingest` snapshot: batch
-    // fan-out amortizes spawn overhead over per-bin batches, so the
+    // combining amortizes its sort over per-bin batches, so the
     // comparison needs production-sized bins (~150k packets each).
     let config = DatasetConfig {
         seed: 9,
@@ -95,7 +179,7 @@ fn bench_ingest(shard_counts: &[usize]) -> IngestBench {
     let dataset = Dataset::clean(Topology::abilene(), config);
     let p = dataset.n_flows();
     let bins = dataset.n_bins();
-    println!("sharded ingest (abilene, {bins} bins, 0.2 scale) ...");
+    println!("ingest planes (abilene, {bins} bins, 0.2 scale) ...");
     let feed: Vec<Vec<(usize, PacketHeader)>> = (0..bins)
         .map(|bin| {
             (0..p)
@@ -111,37 +195,82 @@ fn bench_ingest(shard_counts: &[usize]) -> IngestBench {
         .collect();
     let packets: usize = feed.iter().map(Vec::len).sum();
 
+    // The same traffic as per-cell aggregated flow records — the
+    // NetFlow-shaped front door — and the distinct-run census.
+    let rec_feed: Vec<Vec<(usize, FlowRecord)>> = (0..bins)
+        .map(|bin| {
+            (0..p)
+                .flat_map(|flow| {
+                    let cell = dataset.net.cell_packets(bin, flow, &[]);
+                    aggregate_bin(&cell).into_iter().map(move |r| (flow, r))
+                })
+                .collect()
+        })
+        .collect();
+    let records: usize = rec_feed.iter().map(Vec::len).sum();
+    let distinct_per_bin: Vec<usize> = feed
+        .iter()
+        .map(|batch| {
+            let set: std::collections::HashSet<(usize, u32, u16, u32, u16)> = batch
+                .iter()
+                .map(|(f, pk)| (*f, pk.src_ip.0, pk.src_port, pk.dst_ip.0, pk.dst_port))
+                .collect();
+            set.len()
+        })
+        .collect();
+    let distinct_runs: usize = distinct_per_bin.iter().sum();
+
+    // Equivalence gate before any timing: every path must emit the
+    // per-packet serial builder's rows bit for bit.
+    let reference = ingest_per_packet(&feed, p);
+    assert_eq!(reference.len(), bins);
+    assert_eq!(
+        reference,
+        ingest_combined(&feed, p),
+        "combining batch path diverged from per-packet offers"
+    );
+    assert_eq!(
+        reference,
+        ingest_records(&rec_feed, p),
+        "flow-record combining path diverged from per-packet offers"
+    );
+    for &shards in shard_counts {
+        assert_eq!(
+            reference,
+            ingest_sharded(&feed, p, shards),
+            "{shards}-shard plane diverged from per-packet offers"
+        );
+    }
+
     let serial_ms = best_ms(|| {
-        let mut grid = StreamingGridBuilder::new(StreamConfig::new(p)).unwrap();
-        let mut finalized = 0usize;
-        for (bin, batch) in feed.iter().enumerate() {
-            for (flow, pkt) in batch {
-                grid.offer_packet(*flow, pkt).unwrap();
-            }
-            finalized += grid
-                .advance_watermark((bin + 1) as u64 * DatasetConfig::BIN_SECS)
-                .len();
-        }
-        assert_eq!(finalized, bins);
+        assert_eq!(ingest_per_packet(&feed, p).len(), bins);
     });
     println!(
-        "  serial per-packet: {serial_ms:.1} ms ({:.2e} packets/s)",
+        "  per-packet serial : {serial_ms:.1} ms ({:.2e} packets/s)",
         packets as f64 / (serial_ms / 1e3)
+    );
+    let combined_ms = best_ms(|| {
+        assert_eq!(ingest_combined(&feed, p).len(), bins);
+    });
+    println!(
+        "  combined batches  : {combined_ms:.1} ms ({:.2e} packets/s, {:.2}x per-packet)",
+        packets as f64 / (combined_ms / 1e3),
+        serial_ms / combined_ms
+    );
+    let records_ms = best_ms(|| {
+        assert_eq!(ingest_records(&rec_feed, p).len(), bins);
+    });
+    println!(
+        "  flow-record batches: {records_ms:.1} ms ({:.2e} represented packets/s, {} records)",
+        packets as f64 / (records_ms / 1e3),
+        records
     );
 
     let runs = shard_counts
         .iter()
         .map(|&shards| {
             let ms = best_ms(|| {
-                let mut grid = ShardedGridBuilder::new(StreamConfig::new(p), shards).unwrap();
-                let mut finalized = 0usize;
-                for (bin, batch) in feed.iter().enumerate() {
-                    grid.offer_packets(batch).unwrap();
-                    finalized += grid
-                        .advance_watermark((bin + 1) as u64 * DatasetConfig::BIN_SECS)
-                        .len();
-                }
-                assert_eq!(finalized, bins);
+                assert_eq!(ingest_sharded(&feed, p, shards).len(), bins);
             });
             let run = IngestRun {
                 shards,
@@ -157,27 +286,82 @@ fn bench_ingest(shard_counts: &[usize]) -> IngestBench {
             run
         })
         .collect();
+
+    // Burst-shaped feed: every sampled packet expanded into a burst of 8
+    // identical-tuple packets (fewer bins to bound the feed's memory).
+    const BURST: usize = 8;
+    let burst_bins = 4.min(bins);
+    let burst_feed: Vec<Vec<(usize, PacketHeader)>> = feed[..burst_bins]
+        .iter()
+        .map(|batch| {
+            batch
+                .iter()
+                .flat_map(|&(flow, pkt)| std::iter::repeat_n((flow, pkt), BURST))
+                .collect()
+        })
+        .collect();
+    let burst_packets: usize = burst_feed.iter().map(Vec::len).sum();
+    let burst_distinct: usize = distinct_per_bin[..burst_bins].iter().sum();
+    println!("  burst x{BURST} feed ({burst_bins} bins, {burst_packets} packets) ...");
+    assert_eq!(
+        ingest_per_packet(&burst_feed, p),
+        ingest_combined(&burst_feed, p),
+        "combining diverged from per-packet offers on the burst feed"
+    );
+    let burst_pp_ms = best_ms(|| {
+        assert_eq!(ingest_per_packet(&burst_feed, p).len(), burst_bins);
+    });
+    let burst_cb_ms = best_ms(|| {
+        assert_eq!(ingest_combined(&burst_feed, p).len(), burst_bins);
+    });
+    println!(
+        "  burst per-packet {burst_pp_ms:.1} ms ({:.2e} pkts/s) vs combined {burst_cb_ms:.1} ms \
+         ({:.2e} pkts/s, {:.2}x)",
+        burst_packets as f64 / (burst_pp_ms / 1e3),
+        burst_packets as f64 / (burst_cb_ms / 1e3),
+        burst_pp_ms / burst_cb_ms
+    );
+
     IngestBench {
         flows: p,
         bins,
         packets,
+        distinct_runs,
+        records,
         serial_ms,
+        combined_ms,
+        records_ms,
         runs,
+        burst: BurstBench {
+            factor: BURST,
+            bins: burst_bins,
+            packets: burst_packets,
+            distinct_runs: burst_distinct,
+            per_packet_ms: burst_pp_ms,
+            combined_ms: burst_cb_ms,
+        },
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--ingest-smoke") {
-        // CI probe: the sharded plane vs the serial baseline, printed to
-        // the job log, written nowhere.
+        // CI probe: per-packet vs combining vs sharded over one feed,
+        // printed to the job log, written nowhere. bench_ingest itself
+        // asserts the three paths' FinalizedBin outputs are bit-identical
+        // before timing, so a combining regression fails the job rather
+        // than skewing a number.
         let ingest = bench_ingest(&[1, 8]);
         let one = ingest.runs.iter().find(|r| r.shards == 1).unwrap();
         let eight = ingest.runs.iter().find(|r| r.shards == 8).unwrap();
         println!(
-            "ingest smoke: serial {:.1} ms | 1 shard {:.1} ms | 8 shards {:.1} ms \
+            "ingest smoke: per-packet {:.1} ms | combined {:.1} ms ({:.2}x) | records {:.1} ms \
+             | 1 shard {:.1} ms | 8 shards {:.1} ms \
              (8-vs-1 {:.2}x, 8-vs-serial {:.2}x, {} threads available)",
             ingest.serial_ms,
+            ingest.combined_ms,
+            ingest.serial_ms / ingest.combined_ms,
+            ingest.records_ms,
             one.ms,
             eight.ms,
             one.ms / eight.ms,
@@ -186,6 +370,14 @@ fn main() {
                 .map(|n| n.get())
                 .unwrap_or(1)
         );
+        println!(
+            "ingest smoke (burst x{}): per-packet {:.1} ms vs combined {:.1} ms ({:.2}x)",
+            ingest.burst.factor,
+            ingest.burst.per_packet_ms,
+            ingest.burst.combined_ms,
+            ingest.burst.per_packet_ms / ingest.burst.combined_ms,
+        );
+        println!("ingest smoke: per-packet, combined, flow-record, and sharded outputs verified bit-identical");
         return;
     }
     let out_path = args
@@ -442,6 +634,32 @@ fn main() {
     "bins_per_sec": {bins_per_sec:.1},
     "packets_per_sec": {packets_per_sec:.1}
   }},
+  "ingest_combining": {{
+    "flows": {ing_flows},
+    "bins": {ing_bins},
+    "packets": {ing_packets},
+    "distinct_flow_runs": {ing_distinct},
+    "packets_per_distinct_run": {ing_ratio:.3},
+    "per_packet_ms": {ing_serial_ms:.3},
+    "per_packet_pkts_per_sec": {ing_pp_pps:.1},
+    "combined_ms": {ing_combined_ms:.3},
+    "combined_pkts_per_sec": {ing_cb_pps:.1},
+    "combined_speedup_vs_per_packet": {ing_cb_speedup:.3},
+    "flow_records": {{ "records": {ing_records}, "ms": {ing_records_ms:.3}, "represented_pkts_per_sec": {ing_rec_pps:.1} }},
+    "burst_feed": {{
+      "burst_factor": {ing_b_factor},
+      "bins": {ing_b_bins},
+      "packets": {ing_b_packets},
+      "distinct_flow_runs": {ing_b_distinct},
+      "packets_per_distinct_run": {ing_b_ratio:.3},
+      "per_packet_ms": {ing_b_pp_ms:.3},
+      "per_packet_pkts_per_sec": {ing_b_pp_pps:.1},
+      "combined_ms": {ing_b_cb_ms:.3},
+      "combined_pkts_per_sec": {ing_b_cb_pps:.1},
+      "combined_speedup_vs_per_packet": {ing_b_speedup:.3}
+    }},
+    "note": "single core; per-packet = serial StreamingGridBuilder offer_packet loop over the same feed; combined = offer_packets batches (atomic validate, sort-and-group by cell, merge equal flow tuples, weighted add_n into hint-presized flat histograms); outputs verified bit-identical before timing. The plain synthetic feed draws every packet's tuple independently (~1 packet per distinct run), so combining has nothing to merge there and its speedup reflects only cell-grouped accumulation; the burst feed is the same traffic in the flow-burst shape real (unsampled) links deliver, where the ratio — and the combining win — is real"
+  }},
   "ingest_sharded": {{
     "flows": {ing_flows},
     "bins": {ing_bins},
@@ -459,7 +677,29 @@ fn main() {
         ing_flows = ingest_sharded.flows,
         ing_bins = ingest_sharded.bins,
         ing_packets = ingest_sharded.packets,
+        ing_distinct = ingest_sharded.distinct_runs,
+        ing_ratio = ingest_sharded.packets as f64 / ingest_sharded.distinct_runs as f64,
         ing_serial_ms = ingest_sharded.serial_ms,
+        ing_pp_pps = ingest_sharded.packets as f64 / (ingest_sharded.serial_ms / 1e3),
+        ing_combined_ms = ingest_sharded.combined_ms,
+        ing_cb_pps = ingest_sharded.packets as f64 / (ingest_sharded.combined_ms / 1e3),
+        ing_cb_speedup = ingest_sharded.serial_ms / ingest_sharded.combined_ms,
+        ing_records = ingest_sharded.records,
+        ing_records_ms = ingest_sharded.records_ms,
+        ing_rec_pps = ingest_sharded.packets as f64 / (ingest_sharded.records_ms / 1e3),
+        ing_b_factor = ingest_sharded.burst.factor,
+        ing_b_bins = ingest_sharded.burst.bins,
+        ing_b_packets = ingest_sharded.burst.packets,
+        ing_b_distinct = ingest_sharded.burst.distinct_runs,
+        ing_b_ratio =
+            ingest_sharded.burst.packets as f64 / ingest_sharded.burst.distinct_runs as f64,
+        ing_b_pp_ms = ingest_sharded.burst.per_packet_ms,
+        ing_b_pp_pps =
+            ingest_sharded.burst.packets as f64 / (ingest_sharded.burst.per_packet_ms / 1e3),
+        ing_b_cb_ms = ingest_sharded.burst.combined_ms,
+        ing_b_cb_pps =
+            ingest_sharded.burst.packets as f64 / (ingest_sharded.burst.combined_ms / 1e3),
+        ing_b_speedup = ingest_sharded.burst.per_packet_ms / ingest_sharded.burst.combined_ms,
         ing_speedup_8_over_1 = shard1_ms / shard8_ms,
     );
     std::fs::write(&out_path, json).expect("write snapshot");

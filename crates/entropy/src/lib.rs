@@ -7,11 +7,17 @@
 //! values into the three-way matrix `H(t, p, k)` analysed by the multiway
 //! subspace method.
 //!
-//! * [`FeatureHistogram`] — a counting histogram over one feature.
-//! * [`sample_entropy`] — `H(X) = -Σ (n_i/S) log2(n_i/S)`, plus the
-//!   normalized variant and alternative dispersion metrics used for
-//!   ablation (the paper: "entropy is not the only metric ... we have
-//!   explored other metrics and find that entropy works well in practice").
+//! * [`FeatureHistogram`] — a counting histogram over one feature: an
+//!   open-addressing, linear-probing flat table tuned for the ingest hot
+//!   path, with the previous `HashMap`-backed implementation kept as the
+//!   pinned observational-equivalence reference ([`MapHistogram`]).
+//! * [`sample_entropy`] — `H(X) = -Σ (n_i/S) log2(n_i/S)`, computed as an
+//!   order-independent pure function of the count multiset (sorted-count
+//!   iteration, Neumaier-compensated summation) so merging and map-side
+//!   combining cannot perturb a bit; plus the normalized variant and
+//!   alternative dispersion metrics used for ablation (the paper:
+//!   "entropy is not the only metric ... we have explored other metrics
+//!   and find that entropy works well in practice").
 //! * [`BinAccumulator`] / [`BinSummary`] — per-(OD flow, time bin) state:
 //!   four feature histograms plus packet and byte counts, summarized into
 //!   the six per-bin numbers the paper's timeseries use (bytes, packets,
@@ -24,7 +30,9 @@
 //! * [`stream`] — the streaming ingest stage: a watermark-driven grid
 //!   builder that keeps accumulators only for open bins and emits
 //!   finalized per-bin rows as event time advances, so live feeds never
-//!   materialize the full grid.
+//!   materialize the full grid. Batch offers run the map-side combining
+//!   path: validated events are sort-and-grouped into
+//!   `(bin, flow, flow-key)` runs and absorbed through weighted `add_n`.
 //! * [`shard`] — the sharded ingest plane: flows hash-partitioned across
 //!   per-shard builders behind a watermark coordinator, with scoped-thread
 //!   batch fan-out, emitting bit-identical `FinalizedBin` rows to the
@@ -34,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod accum;
+mod combine;
 mod hist;
 mod metrics;
 pub mod shard;
@@ -41,9 +50,10 @@ pub mod stream;
 mod tensor;
 
 pub use accum::{BinAccumulator, BinSummary};
-pub use hist::FeatureHistogram;
+pub use hist::{FeatureHistogram, MapHistogram};
 pub use metrics::{
-    distinct_count, gini_coefficient, normalized_entropy, sample_entropy, simpson_index,
+    distinct_count, entropy_from_sorted_counts, gini_coefficient, normalized_entropy,
+    sample_entropy, simpson_index,
 };
 pub use shard::ShardedGridBuilder;
 pub use stream::{FinalizedBin, StreamConfig, StreamError, StreamingGridBuilder};

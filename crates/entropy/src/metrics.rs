@@ -12,27 +12,172 @@
 //! Gini coefficient, distinct count) support the ablation benches: the
 //! paper notes other dispersion metrics exist but that "entropy works well
 //! in practice".
+//!
+//! # Order independence
+//!
+//! Every metric here is computed as a function of the histogram's **count
+//! multiset**, never of its iteration order: counts are first sorted
+//! (ascending), and floating-point reductions run over that canonical
+//! order with Neumaier-compensated summation. Entropy is evaluated in the
+//! algebraically equivalent form
+//!
+//! ```text
+//! H(X) = log2(S) - (Σ n_i · log2(n_i)) / S
+//! ```
+//!
+//! whose terms are all nonnegative (no intermediate cancellation) and
+//! vanish exactly for singleton values. The payoff is that entropy is a
+//! *pure function of the multiset*: merging histograms, re-batching
+//! events, map-side combining, or resizing tables cannot perturb a single
+//! bit of the result — which is precisely the property the ingest plane's
+//! bit-identity contract stands on.
 
 use crate::hist::FeatureHistogram;
+use std::sync::OnceLock;
+
+/// Precomputed `n · log2(n)` for small counts — the overwhelmingly common
+/// case in per-cell feature histograms, where most values occur a handful
+/// of times. One table lookup replaces a `log2` call on the finalization
+/// path.
+const TERM_TABLE_LEN: usize = 1024;
+
+fn count_term_table() -> &'static [f64; TERM_TABLE_LEN] {
+    static TABLE: OnceLock<[f64; TERM_TABLE_LEN]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0; TERM_TABLE_LEN];
+        for (n, slot) in t.iter_mut().enumerate().skip(2) {
+            let x = n as f64;
+            *slot = x * x.log2();
+        }
+        t
+    })
+}
+
+/// `n · log2(n)` with the small-count fast path (0 for `n <= 1`).
+#[inline]
+fn count_term(n: u64) -> f64 {
+    if (n as usize) < TERM_TABLE_LEN {
+        count_term_table()[n as usize]
+    } else {
+        let x = n as f64;
+        x * x.log2()
+    }
+}
+
+/// One step of Neumaier's compensated summation: adds `term` into
+/// `(sum, comp)`, capturing the low-order bits ordinary addition drops.
+#[inline]
+fn neumaier(sum: &mut f64, comp: &mut f64, term: f64) {
+    let t = *sum + term;
+    if sum.abs() >= term.abs() {
+        *comp += (*sum - t) + term;
+    } else {
+        *comp += (term - t) + *sum;
+    }
+    *sum = t;
+}
+
+/// The canonical entropy reduction: Neumaier-compensated summation of
+/// `multiplicity · (c · log2 c)` over count groups `(c, multiplicity)`
+/// in **ascending count order**, closed with `log2(S) − T/S`. Every
+/// entropy path in the crate funnels through this one sequence of
+/// floating-point operations, which is what makes the value a pure
+/// function of the count multiset.
+fn entropy_from_count_groups(total: u64, groups: impl Iterator<Item = (u64, u64)>) -> f64 {
+    let mut sum = 0.0;
+    let mut comp = 0.0;
+    for (c, multiplicity) in groups {
+        // Singletons contribute exactly zero (1 · log2 1): a scan's sea
+        // of once-seen ports costs nothing and loses nothing.
+        if c > 1 {
+            neumaier(&mut sum, &mut comp, multiplicity as f64 * count_term(c));
+        }
+    }
+    let s = total as f64;
+    (s.log2() - (sum + comp) / s).max(0.0)
+}
+
+/// Groups an ascending count slice into `(count, multiplicity)` pairs.
+fn sorted_groups(counts: &[u64]) -> impl Iterator<Item = (u64, u64)> + '_ {
+    let mut i = 0;
+    std::iter::from_fn(move || {
+        if i >= counts.len() {
+            return None;
+        }
+        let c = counts[i];
+        let start = i;
+        while i < counts.len() && counts[i] == c {
+            i += 1;
+        }
+        Some((c, (i - start) as u64))
+    })
+}
+
+/// Sample entropy from a canonical (ascending) count multiset — the
+/// shared core of [`sample_entropy`], the `MapHistogram` reference path in
+/// the equivalence suite, and the high-precision pinning tests.
+///
+/// `counts` must be sorted ascending; `total` must equal its sum. Equal
+/// counts are folded into one weighted term, and the weighted terms are
+/// accumulated with Neumaier compensation, so the result is a
+/// deterministic pure function of `(total, counts)`.
+pub fn entropy_from_sorted_counts(total: u64, counts: &[u64]) -> f64 {
+    debug_assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert_eq!(counts.iter().sum::<u64>(), total);
+    if total == 0 || counts.len() <= 1 {
+        return 0.0;
+    }
+    entropy_from_count_groups(total, sorted_groups(counts))
+}
+
+/// Counts below this threshold are histogrammed into a stack array at
+/// finalization instead of being sorted — per-cell feature histograms
+/// are overwhelmingly small counts, so this removes the comparison sort
+/// from the hot finalization path.
+const SMALL_COUNT: usize = 256;
 
 /// Sample entropy of a histogram, in bits.
 ///
 /// Empty histograms have entropy 0 by convention (there is no distribution
 /// to be dispersed).
+///
+/// Large histograms are canonicalized by a count-of-counts pass (small
+/// counts bucketed directly, the rare large ones sorted); small ones
+/// sort their counts outright, which is cheaper than zeroing the bucket
+/// array. Both produce the exact same ascending group sequence — and
+/// therefore bit-identical results — as [`entropy_from_sorted_counts`]
+/// over the sorted counts.
 pub fn sample_entropy(hist: &FeatureHistogram) -> f64 {
-    let s = hist.total();
-    if s == 0 {
+    let total = hist.total();
+    let distinct = hist.distinct();
+    if total == 0 || distinct <= 1 {
         return 0.0;
     }
-    let s = s as f64;
-    let mut h = 0.0;
-    for (_, n) in hist.iter() {
-        let p = n as f64 / s;
-        h -= p * p.log2();
+    if distinct <= 64 {
+        let mut buf = [0u64; 64];
+        for (slot, (_, n)) in buf.iter_mut().zip(hist.iter()) {
+            *slot = n;
+        }
+        let counts = &mut buf[..distinct];
+        counts.sort_unstable();
+        return entropy_from_count_groups(total, sorted_groups(counts));
     }
-    // Clamp the tiny negative values floating point can produce for
-    // single-value histograms.
-    h.max(0.0)
+    let mut small = [0u32; SMALL_COUNT];
+    let mut spill: Vec<u64> = Vec::new();
+    for (_, n) in hist.iter() {
+        if (n as usize) < SMALL_COUNT {
+            small[n as usize] += 1;
+        } else {
+            spill.push(n);
+        }
+    }
+    spill.sort_unstable();
+    let small_groups = small
+        .iter()
+        .enumerate()
+        .filter(|(_, &k)| k != 0)
+        .map(|(c, &k)| (c as u64, k as u64));
+    entropy_from_count_groups(total, small_groups.chain(sorted_groups(&spill)))
 }
 
 /// Entropy normalized by its maximum `log2(N)`, mapping any histogram into
@@ -51,43 +196,38 @@ pub fn normalized_entropy(hist: &FeatureHistogram) -> f64 {
 /// Simpson's diversity index `1 - Σ p_i^2`.
 ///
 /// 0 for a single-valued histogram, approaching 1 for highly dispersed
-/// ones. An alternative dispersion summary for the ablation benches.
+/// ones. The sum of squared counts is formed exactly in integers (order
+/// independent by construction) and divided once.
 pub fn simpson_index(hist: &FeatureHistogram) -> f64 {
     let s = hist.total();
     if s == 0 {
         return 0.0;
     }
+    let sum_sq: u128 = hist.iter().map(|(_, n)| n as u128 * n as u128).sum();
     let s = s as f64;
-    let sum_sq: f64 = hist
-        .iter()
-        .map(|(_, n)| {
-            let p = n as f64 / s;
-            p * p
-        })
-        .sum();
-    1.0 - sum_sq
+    (1.0 - sum_sq as f64 / (s * s)).clamp(0.0, 1.0)
 }
 
 /// Gini coefficient of the count distribution.
 ///
 /// 0 when all values are equally frequent (perfect equality / maximal
-/// dispersal), approaching 1 when one value dominates.
+/// dispersal), approaching 1 when one value dominates. Computed over the
+/// canonical ascending count order with compensated summation.
 pub fn gini_coefficient(hist: &FeatureHistogram) -> f64 {
     let n = hist.distinct();
     if n == 0 || hist.total() == 0 {
         return 0.0;
     }
-    let mut counts: Vec<u64> = hist.iter().map(|(_, c)| c).collect();
-    counts.sort_unstable();
+    let counts = hist.counts_sorted();
     let total: u64 = hist.total();
     // G = (2 Σ_i i·x_(i) ) / (n Σ x) - (n+1)/n    with 1-based ranks i.
-    let weighted: f64 = counts
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
-        .sum();
+    let mut weighted = 0.0;
+    let mut comp = 0.0;
+    for (i, &x) in counts.iter().enumerate() {
+        neumaier(&mut weighted, &mut comp, (i as f64 + 1.0) * x as f64);
+    }
     let n_f = n as f64;
-    (2.0 * weighted) / (n_f * total as f64) - (n_f + 1.0) / n_f
+    (2.0 * (weighted + comp)) / (n_f * total as f64) - (n_f + 1.0) / n_f
 }
 
 /// Number of distinct values — the crudest dispersion measure.
@@ -134,6 +274,16 @@ mod tests {
     }
 
     #[test]
+    fn entropy_of_all_singletons_is_exact() {
+        // A scan histogram (every value seen once) has entropy exactly
+        // log2(S): every term of the correction sum vanishes identically.
+        let h: FeatureHistogram = (0..4096u32).collect();
+        assert_eq!(sample_entropy(&h), 12.0);
+        let h2: FeatureHistogram = (0..1000u32).collect();
+        assert_eq!(sample_entropy(&h2), 1000f64.log2());
+    }
+
+    #[test]
     fn entropy_bounded_by_log2_n() {
         let h = hist_of(&[1, 1, 2, 3, 3, 3, 4]);
         let max = (h.distinct() as f64).log2();
@@ -147,6 +297,22 @@ mod tests {
         let balanced = hist_of(&[1, 2, 3, 4]);
         let skewed = hist_of(&[1, 1, 1, 1, 2, 3, 4]);
         assert!(sample_entropy(&skewed) < sample_entropy(&balanced));
+    }
+
+    #[test]
+    fn entropy_large_counts_cross_term_table() {
+        // Counts straddling the lookup-table boundary agree with the
+        // plain formula to high accuracy.
+        let mut h = FeatureHistogram::new();
+        h.add_n(1, 1023);
+        h.add_n(2, 1024);
+        h.add_n(3, 5000);
+        let s = (1023 + 1024 + 5000) as f64;
+        let expected: f64 = -[1023.0, 1024.0, 5000.0]
+            .iter()
+            .map(|&n| (n / s) * (n / s).log2())
+            .sum::<f64>();
+        assert!((sample_entropy(&h) - expected).abs() < 1e-12);
     }
 
     #[test]

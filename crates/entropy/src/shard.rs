@@ -14,13 +14,17 @@
 //!   by a fixed multiplicative hash of its flow index. A shard owns the
 //!   open-bin [`BinAccumulator`]s of exactly its own flows, so shards
 //!   never share mutable state and need no locks.
-//! * **Batch fan-out.** Events are offered in batches
-//!   ([`offer_packets`](ShardedGridBuilder::offer_packets) /
+//! * **Batch fan-out with map-side combining.** Events are offered in
+//!   batches ([`offer_packets`](ShardedGridBuilder::offer_packets) /
 //!   [`offer_flows`](ShardedGridBuilder::offer_flows)); the coordinator
-//!   validates the whole batch up front, then fans shards out over scoped
-//!   threads — reusing the worker-sizing discipline of
-//!   [`entromine_linalg::par`] (spawn only when the batch is worth it,
-//!   ≤16 OS threads regardless of shard count).
+//!   validates the whole batch up front and assigns each event a cell
+//!   rank, then every shard sort-and-groups its slice into
+//!   `(bin, flow, flow-key)` combined runs (the `combine` module) and
+//!   feeds its accumulators through the weighted `add_n` path — four
+//!   table probes per distinct flow per bin instead of four per packet.
+//!   Shards fan out over scoped threads, reusing the worker-sizing
+//!   discipline of [`entromine_linalg::par`] (spawn only when the batch
+//!   is worth it, ≤16 OS threads regardless of shard count).
 //! * **Watermark coordination.** The event-time watermark, lateness
 //!   slack, sanity horizon, and gap-bin conventions live in the
 //!   coordinator and behave exactly like the serial builder's. When a bin
@@ -30,14 +34,21 @@
 //!
 //! # Bit-identical by construction
 //!
-//! Each (flow, bin) cell's accumulator receives exactly the events the
-//! serial builder's cell would, **in the same order** — a flow lives on
-//! one shard, and each shard walks the batch in offer order. Finalization
+//! Each (flow, bin) cell's accumulator receives exactly the traffic the
+//! serial builder's cell would — a flow lives on one shard, and
+//! combining only reorders and reweights updates, never moves them
+//! between cells. Counts are exact integer sums, and entropy
+//! finalization is a pure function of each histogram's count multiset
+//! (sorted-count-group iteration with compensated summation, see
+//! [`sample_entropy`](crate::sample_entropy)), so neither sharding,
+//! batch segmentation, nor
+//! combining order can perturb a bit of the output. Finalization
 //! summarizes each cell independently and places it at its global flow
 //! index. The emitted `FinalizedBin` sequence is therefore bitwise
-//! identical to the serial builder's for *any* shard count; the
-//! shard-equivalence suite (`crates/entropy/tests/shard_equivalence.rs`)
-//! pins this over shard counts 1/2/7/16, late events, and gap bins.
+//! identical to the serial per-packet builder's for *any* shard count;
+//! the shard-equivalence suite
+//! (`crates/entropy/tests/shard_equivalence.rs`) pins this over shard
+//! counts 1/2/7/16, late events, and gap bins.
 //!
 //! # Batch error semantics
 //!
@@ -49,7 +60,8 @@
 //! they are dropped and counted, never silently.
 
 use crate::accum::{BinAccumulator, BinSummary};
-use crate::stream::{FinalizedBin, StreamConfig, StreamError};
+use crate::combine::{self, CellGrid};
+use crate::stream::{hinted_capacities, FinalizedBin, StreamConfig, StreamError};
 use entromine_linalg::par;
 use entromine_net::flow::FlowRecord;
 use entromine_net::packet::PacketHeader;
@@ -82,25 +94,40 @@ struct Shard {
     /// Open bins, keyed by bin index; each row holds one accumulator per
     /// owned flow, in `flows` order.
     open: BTreeMap<usize, Vec<BinAccumulator>>,
+    /// Per owned flow, the per-feature distinct counts of its last
+    /// finalized bin with traffic — sizing hints for fresh accumulators.
+    size_hints: Vec<[u32; 4]>,
+}
+
+impl combine::CellGrid for Shard {
+    /// Borrows (opening if necessary) the local accumulator for `local`
+    /// flow index at `bin`. Fresh rows are pre-sized from the hints so a
+    /// steady feed never rehashes mid-bin.
+    fn cell(&mut self, bin: usize, local: usize) -> &mut BinAccumulator {
+        let hints = &self.size_hints;
+        &mut self.open.entry(bin).or_insert_with(|| {
+            hints
+                .iter()
+                .map(|h| BinAccumulator::with_size_hints(hinted_capacities(h)))
+                .collect()
+        })[local]
+    }
 }
 
 impl Shard {
-    /// Borrows (opening if necessary) the local accumulator for `local`
-    /// flow index at `bin`.
-    fn cell(&mut self, bin: usize, local: usize) -> &mut BinAccumulator {
-        let width = self.flows.len();
-        &mut self
-            .open
-            .entry(bin)
-            .or_insert_with(|| vec![BinAccumulator::new(); width])[local]
-    }
-
     /// Removes and summarizes this shard's slice of `bin`, if any traffic
-    /// opened it.
+    /// opened it, feeding the observed cardinalities back as hints
+    /// (flows that saw no traffic this bin keep their previous hints).
     fn take_summaries(&mut self, bin: usize) -> Option<Vec<BinSummary>> {
-        self.open
-            .remove(&bin)
-            .map(|row| row.iter().map(BinAccumulator::summarize).collect())
+        self.open.remove(&bin).map(|row| {
+            for (hint, acc) in self.size_hints.iter_mut().zip(&row) {
+                if acc.packets() > 0 {
+                    let d = acc.size_hints();
+                    *hint = [d[0] as u32, d[1] as u32, d[2] as u32, d[3] as u32];
+                }
+            }
+            row.iter().map(BinAccumulator::summarize).collect()
+        })
     }
 }
 
@@ -185,6 +212,7 @@ impl ShardedGridBuilder {
             shards: owned
                 .into_iter()
                 .map(|flows| Shard {
+                    size_hints: vec![[0u32; 4]; flows.len()],
                     flows,
                     open: BTreeMap::new(),
                 })
@@ -292,82 +320,61 @@ impl ShardedGridBuilder {
         Ok(())
     }
 
-    /// Offers a batch of packets, fanning accumulation out across the
-    /// shards. The batch is validated atomically: on error, nothing has
-    /// been absorbed. Late events are dropped and counted.
+    /// Offers a batch of packets through the map-side combining path,
+    /// fanning accumulation out across the shards. The batch is validated
+    /// atomically: on error, nothing has been absorbed. Late events are
+    /// dropped and counted.
     pub fn offer_packets(&mut self, batch: &[(usize, PacketHeader)]) -> Result<(), StreamError> {
-        self.offer_batch(batch, |pkt| pkt.timestamp, |cell, pkt| cell.add_packet(pkt))
+        self.offer_batch(batch)
     }
 
-    /// Offers a batch of flow records, fanning accumulation out across
-    /// the shards with the same atomic validation as
-    /// [`offer_packets`](Self::offer_packets).
+    /// Offers a batch of flow records through the same combining path and
+    /// atomic validation as [`offer_packets`](Self::offer_packets).
     pub fn offer_flows(&mut self, batch: &[(usize, FlowRecord)]) -> Result<(), StreamError> {
-        self.offer_batch(batch, |rec| rec.first, |cell, rec| cell.add_flow(rec))
+        self.offer_batch(batch)
     }
 
     /// Shared batch path: validate and partition in one coordinator
-    /// pre-pass, then fan the per-shard slices out.
-    fn offer_batch<E: Sync>(
+    /// pre-pass, then sort-and-group each shard's slice into combined
+    /// flow runs and fan the per-shard accumulation out (see the
+    /// [`combine`] module for the engine).
+    fn offer_batch<E: combine::IngestEvent + Sync>(
         &mut self,
         batch: &[(usize, E)],
-        timestamp: impl Fn(&E) -> u64 + Sync,
-        absorb: impl Fn(&mut BinAccumulator, &E) + Sync,
     ) -> Result<(), StreamError> {
         // Coordinator pre-pass, O(1) per event: validate (so the
         // expensive accumulation below never aborts half-done), drop and
-        // count late events, and bucket each survivor's index by owning
-        // shard — each worker then touches only its own events instead of
-        // rescanning the whole batch.
-        let n_flows = self.config.n_flows;
-        let horizon_end = self.next_emit.saturating_add(self.config.horizon_bins);
-        let mut per_shard: Vec<Vec<(u32, u64)>> = vec![Vec::new(); self.shards.len()];
-        let mut late = 0u64;
-        for (i, &(flow, ref ev)) in batch.iter().enumerate() {
-            if flow >= n_flows {
-                return Err(StreamError::FlowOutOfRange { flow, n_flows });
-            }
-            let bin = timestamp(ev) / self.config.bin_secs;
-            if (bin as usize) < self.next_emit {
-                late += 1;
-                continue;
-            }
-            if bin as usize >= horizon_end {
-                return Err(StreamError::BeyondHorizon {
-                    bin: bin as usize,
-                    horizon_end,
-                });
-            }
-            per_shard[self.shard_ix[flow] as usize].push((i as u32, bin));
-        }
+        // count late events, and assign each survivor its cell rank in
+        // its owning shard — each worker then touches only its own events
+        // instead of rescanning the whole batch.
+        let adm = combine::Admission {
+            n_flows: self.config.n_flows,
+            bin_secs: self.config.bin_secs,
+            next_emit: self.next_emit,
+            horizon_bins: self.config.horizon_bins,
+        };
+        let next_emit = self.next_emit;
+        let widths: Vec<usize> = self.shards.iter().map(|s| s.flows.len()).collect();
+        let mut per_shard: Vec<Vec<(u64, u32)>> = vec![Vec::new(); self.shards.len()];
+        let shard_ix = &self.shard_ix;
+        let local_ix = &self.local_ix;
+        let late = combine::validate_batch(batch, &adm, |idx, flow, bin| {
+            let s = shard_ix[flow] as usize;
+            let rank = ((bin - next_emit) * widths[s] + local_ix[flow] as usize) as u64;
+            per_shard[s].push((rank, idx));
+        })?;
         // The batch validated end to end: only now does any state change.
         self.late_events += late;
 
-        let local_ix = &self.local_ix;
-        // Workers walk their slice in bin *runs*: real feeds are bursts
-        // of same-bin events, so the open-bin map is consulted once per
-        // run instead of once per event.
-        let run = |shard: &mut Shard, entries: &[(u32, u64)]| {
+        let run = |shard: &mut Shard, keys: &mut Vec<(u64, u32)>| {
             let width = shard.flows.len();
-            let mut i = 0;
-            while i < entries.len() {
-                let bin = entries[i].1 as usize;
-                let row = shard
-                    .open
-                    .entry(bin)
-                    .or_insert_with(|| vec![BinAccumulator::new(); width]);
-                while i < entries.len() && entries[i].1 as usize == bin {
-                    let (flow, ref ev) = batch[entries[i].0 as usize];
-                    absorb(&mut row[local_ix[flow] as usize], ev);
-                    i += 1;
-                }
-            }
+            combine::accumulate_grouped(batch, keys, width, next_emit, shard);
         };
 
         let workers = par::workers_for(batch.len().saturating_mul(PACKET_WORK));
         if self.shards.len() == 1 || workers <= 1 {
-            for (shard, indices) in self.shards.iter_mut().zip(&per_shard) {
-                run(shard, indices);
+            for (shard, keys) in self.shards.iter_mut().zip(&mut per_shard) {
+                run(shard, keys);
             }
             return Ok(());
         }
@@ -376,16 +383,16 @@ impl ShardedGridBuilder {
         let groups = par::even_ranges(self.shards.len(), workers.min(par::MAX_THREADS));
         std::thread::scope(|scope| {
             let mut shards_rest: &mut [Shard] = &mut self.shards;
-            let mut indices_rest: &[Vec<(u32, u64)>] = &per_shard;
+            let mut keys_rest: &mut [Vec<(u64, u32)>] = &mut per_shard;
             for group in &groups {
                 let (mine, tail) = shards_rest.split_at_mut(group.len());
                 shards_rest = tail;
-                let (my_indices, idx_tail) = indices_rest.split_at(group.len());
-                indices_rest = idx_tail;
+                let (my_keys, keys_tail) = keys_rest.split_at_mut(group.len());
+                keys_rest = keys_tail;
                 let run = &run;
                 scope.spawn(move || {
-                    for (shard, indices) in mine.iter_mut().zip(my_indices) {
-                        run(shard, indices);
+                    for (shard, keys) in mine.iter_mut().zip(my_keys) {
+                        run(shard, keys);
                     }
                 });
             }

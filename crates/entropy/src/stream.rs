@@ -35,14 +35,58 @@
 //!   the present an event may land and how many gap bins one watermark
 //!   advance emits, so a corrupt timestamp cannot blow the working set.
 //!
+//! # Per-event vs batch offers
+//!
+//! [`offer_packet`]/[`offer_flow`] absorb one event at a time — the
+//! simple, obviously correct path the equivalence suites treat as the
+//! executable specification. [`offer_packets`]/[`offer_flows`] take a
+//! whole batch through the map-side combining path (validate →
+//! sort-and-group by cell → merge equal flow tuples → weighted `add_n`),
+//! which is the hot production path; its output is bit-identical to the
+//! per-event path because entropy finalization is a pure function of each
+//! histogram's count multiset.
+//!
 //! [`advance_watermark`]: StreamingGridBuilder::advance_watermark
 //! [`late_events`]: StreamingGridBuilder::late_events
+//! [`offer_packet`]: StreamingGridBuilder::offer_packet
+//! [`offer_flow`]: StreamingGridBuilder::offer_flow
+//! [`offer_packets`]: StreamingGridBuilder::offer_packets
+//! [`offer_flows`]: StreamingGridBuilder::offer_flows
 
 use crate::accum::{BinAccumulator, BinSummary};
+use crate::combine;
 use entromine_net::flow::FlowRecord;
 use entromine_net::packet::PacketHeader;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Converts a per-feature distinct-count hint into the capacity request
+/// for a fresh accumulator. The request is the last observed cardinality
+/// itself: the table sizes to double that, which both absorbs ordinary
+/// bin-over-bin drift without growth and keeps the slot array small
+/// enough that the per-cell working set stays cache-resident.
+pub(crate) fn hinted_capacities(hint: &[u32; 4]) -> [usize; 4] {
+    hint.map(|h| h as usize)
+}
+
+/// The serial builder's open-bin map viewed as a [`combine::CellGrid`]:
+/// fresh rows are pre-sized from the per-flow hints.
+struct SerialGrid<'a> {
+    open: &'a mut BTreeMap<usize, Vec<BinAccumulator>>,
+    hints: &'a [[u32; 4]],
+}
+
+impl combine::CellGrid for SerialGrid<'_> {
+    fn cell(&mut self, bin: usize, slot: usize) -> &mut BinAccumulator {
+        let hints = self.hints;
+        &mut self.open.entry(bin).or_insert_with(|| {
+            hints
+                .iter()
+                .map(|h| BinAccumulator::with_size_hints(hinted_capacities(h)))
+                .collect()
+        })[slot]
+    }
+}
 
 /// Configuration of the streaming ingest stage.
 #[derive(Debug, Clone)]
@@ -200,6 +244,10 @@ pub struct StreamingGridBuilder {
     late_events: u64,
     /// Bins emitted so far.
     finalized_bins: u64,
+    /// Per-flow, per-feature distinct counts observed in the last
+    /// finalized bin with traffic — the sizing hints the batch path uses
+    /// to pre-size fresh accumulators and skip mid-bin rehashing.
+    size_hints: Vec<[u32; 4]>,
 }
 
 impl StreamingGridBuilder {
@@ -216,6 +264,7 @@ impl StreamingGridBuilder {
                 "sanity horizon must allow at least 1 bin",
             ));
         }
+        let size_hints = vec![[0u32; 4]; config.n_flows];
         Ok(StreamingGridBuilder {
             config,
             open: BTreeMap::new(),
@@ -223,6 +272,7 @@ impl StreamingGridBuilder {
             next_emit: 0,
             late_events: 0,
             finalized_bins: 0,
+            size_hints,
         })
     }
 
@@ -287,6 +337,60 @@ impl StreamingGridBuilder {
         Ok(())
     }
 
+    /// Offers a batch of packets through the map-side combining path.
+    ///
+    /// The batch is validated **atomically** (any invalid event rejects
+    /// the whole batch before anything is absorbed; late events are
+    /// dropped and counted), then pre-aggregated into `(bin, flow,
+    /// flow-key)`-grouped weighted runs so each cell's histograms see
+    /// four `add_n` probes per distinct flow per bin instead of four per
+    /// packet. The emitted [`FinalizedBin`] rows are bit-identical to
+    /// offering every packet through [`offer_packet`](Self::offer_packet).
+    pub fn offer_packets(&mut self, batch: &[(usize, PacketHeader)]) -> Result<(), StreamError> {
+        self.offer_batch(batch)
+    }
+
+    /// Offers a batch of aggregated flow records (binned by first-packet
+    /// timestamp) through the same combining path as
+    /// [`offer_packets`](Self::offer_packets) — the NetFlow-shaped front
+    /// door: records arriving pre-aggregated keep their weights and merge
+    /// further whenever they share a bin, flow, and feature tuple.
+    pub fn offer_flows(&mut self, batch: &[(usize, FlowRecord)]) -> Result<(), StreamError> {
+        self.offer_batch(batch)
+    }
+
+    /// Shared combining batch path; see the [`combine`] module for the
+    /// validate → sort-and-group → run-merge pipeline.
+    fn offer_batch<E: combine::IngestEvent>(
+        &mut self,
+        batch: &[(usize, E)],
+    ) -> Result<(), StreamError> {
+        let adm = combine::Admission {
+            n_flows: self.config.n_flows,
+            bin_secs: self.config.bin_secs,
+            next_emit: self.next_emit,
+            horizon_bins: self.config.horizon_bins,
+        };
+        let stride = self.config.n_flows;
+        let next_emit = self.next_emit;
+        let (late, grouped) = combine::validate_grouped(batch, &adm, stride)?;
+        // The batch validated end to end: only now does any state change.
+        self.late_events += late;
+        let mut grid = SerialGrid {
+            open: &mut self.open,
+            hints: &self.size_hints,
+        };
+        if grouped {
+            // The common shape — per-bin batches, flow-major replay,
+            // NetFlow exports — needs no index array and no sort.
+            combine::accumulate_in_order(batch, &adm, &mut grid);
+        } else {
+            let mut keys = combine::rank_keys(batch, &adm, stride);
+            combine::accumulate_grouped(batch, &mut keys, stride, next_emit, &mut grid);
+        }
+        Ok(())
+    }
+
     /// Borrows (opening if necessary) the accumulator for `flow` at event
     /// time `timestamp`; `None` means the event is late.
     fn cell_for(
@@ -347,7 +451,20 @@ impl StreamingGridBuilder {
         while self.next_emit < upto {
             let bin = self.next_emit;
             let summaries = match self.open.remove(&bin) {
-                Some(row) => row.iter().map(BinAccumulator::summarize).collect(),
+                Some(row) => {
+                    // Feed the observed cardinalities back as sizing
+                    // hints for the next bin this flow opens. Flows (and
+                    // whole gap bins) that saw no traffic keep their
+                    // previous hints — a flow's cardinality profile
+                    // outlives a quiet bin.
+                    for (hint, acc) in self.size_hints.iter_mut().zip(&row) {
+                        if acc.packets() > 0 {
+                            let d = acc.size_hints();
+                            *hint = [d[0] as u32, d[1] as u32, d[2] as u32, d[3] as u32];
+                        }
+                    }
+                    row.iter().map(BinAccumulator::summarize).collect()
+                }
                 None => vec![BinSummary::default(); self.config.n_flows],
             };
             out.push(FinalizedBin { bin, summaries });
@@ -531,6 +648,85 @@ mod tests {
         );
         assert_eq!(fb.bytes_row(), vec![10.0, 20.0]);
         assert_eq!(fb.packets_row(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn batch_offers_match_per_packet_offers_exactly() {
+        // The combining batch path must be invisible in the output: same
+        // traffic via offer_packets (in shuffled order, so combining and
+        // sorting really happen) finalizes bit-identically to per-packet
+        // offers.
+        let packets: Vec<(usize, PacketHeader)> = (0..600)
+            .map(|i| {
+                (
+                    i % 3,
+                    pkt(i as u32 % 11, [80u16, 443, 53][i % 3], (i as u64 * 7) % 900),
+                )
+            })
+            .collect();
+        let mut serial = builder(3);
+        for (flow, p) in &packets {
+            serial.offer_packet(*flow, p).unwrap();
+        }
+        let serial_bins = serial.finish();
+
+        let mut shuffled = packets.clone();
+        shuffled.reverse();
+        let mut batched = builder(3);
+        for chunk in shuffled.chunks(101) {
+            batched.offer_packets(chunk).unwrap();
+        }
+        let batched_bins = batched.finish();
+        assert_eq!(serial_bins, batched_bins);
+    }
+
+    #[test]
+    fn flow_record_batches_match_packet_batches() {
+        let packets: Vec<PacketHeader> = (0..120)
+            .map(|i| pkt(i % 5, [80u16, 443][i as usize % 2], 40 + (i as u64) % 260))
+            .collect();
+        let mut by_packet = builder(1);
+        by_packet
+            .offer_packets(&packets.iter().map(|p| (0usize, *p)).collect::<Vec<_>>())
+            .unwrap();
+        let a = by_packet.finish();
+
+        let records: Vec<(usize, FlowRecord)> = aggregate_bin(&packets)
+            .into_iter()
+            .map(|r| (0usize, r))
+            .collect();
+        let mut by_record = builder(1);
+        by_record.offer_flows(&records).unwrap();
+        let b = by_record.finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_is_validated_atomically() {
+        let mut b = builder(2);
+        let batch = vec![(0usize, pkt(1, 80, 10)), (5, pkt(2, 80, 20))];
+        assert_eq!(
+            b.offer_packets(&batch),
+            Err(StreamError::FlowOutOfRange {
+                flow: 5,
+                n_flows: 2
+            })
+        );
+        // Nothing was absorbed: flushing yields no bins.
+        assert!(b.finish().is_empty());
+    }
+
+    #[test]
+    fn late_batch_events_counted_not_misfiled() {
+        let mut b = builder(1);
+        b.offer_packets(&[(0, pkt(1, 80, 10))]).unwrap();
+        assert_eq!(b.advance_watermark(600).len(), 2);
+        b.offer_packets(&[(0, pkt(2, 80, 5)), (0, pkt(3, 80, 700))])
+            .unwrap();
+        assert_eq!(b.late_events(), 1);
+        let sealed = b.advance_watermark(900);
+        assert_eq!(sealed.len(), 1);
+        assert_eq!(sealed[0].summaries[0].packets, 1);
     }
 
     #[test]

@@ -12,6 +12,13 @@
 //! The fixed tests cover late events, gap bins, lateness slack, flow
 //! records, and the end-of-stream flush; the proptest sweeps random
 //! traffic shapes across shard counts 1/2/7/16.
+//!
+//! The `combining_*` tests pin the map-side combining batch path
+//! specifically (these are what CI's `combining-equivalence` step runs):
+//! batches — including shuffled ones, flow-record ones, and batches
+//! straddling bins — must finalize bit-identically to per-packet offers
+//! on the serial builder and on every shard count, late events and gap
+//! bins included.
 
 use entromine_entropy::shard::ShardedGridBuilder;
 use entromine_entropy::stream::{StreamConfig, StreamingGridBuilder};
@@ -227,8 +234,150 @@ fn flow_record_batches_match_serial_packet_feed() {
     }
 }
 
+/// Drives the serial builder through the combining batch path with the
+/// same slicing as [`run_serial`], optionally shuffling each batch
+/// deterministically first (combining must be order-blind).
+fn run_serial_batched(
+    config: &StreamConfig,
+    events: &[(usize, PacketHeader)],
+    watermarks: &[u64],
+    shuffle_seed: Option<u64>,
+) -> (Vec<entromine_entropy::FinalizedBin>, u64) {
+    let mut b = StreamingGridBuilder::new(config.clone()).expect("serial builder");
+    let mut out = Vec::new();
+    let mut remaining = events;
+    for (i, &wm) in watermarks.iter().enumerate() {
+        let take = if i + 1 == watermarks.len() {
+            remaining.len()
+        } else {
+            events.len() / watermarks.len()
+        }
+        .min(remaining.len());
+        let (now, rest) = remaining.split_at(take);
+        remaining = rest;
+        let mut batch: Vec<(usize, PacketHeader)> = now.to_vec();
+        if let Some(seed) = shuffle_seed {
+            let mut rng = StdRng::seed_from_u64(seed ^ i as u64);
+            for i in (1..batch.len()).rev() {
+                let j = rng.random_range(0..=i);
+                batch.swap(i, j);
+            }
+        }
+        b.offer_packets(&batch).expect("offer batch");
+        out.extend(b.advance_watermark(wm));
+    }
+    let late = b.late_events();
+    out.extend(b.finish());
+    (out, late)
+}
+
+#[test]
+fn combining_batch_matches_per_packet_offers() {
+    // Serial builder, same events: per-packet offers vs the combining
+    // batch path (in offer order and shuffled) with gap bins, stragglers,
+    // and mid-stream watermarks.
+    let n_flows = 17;
+    let config = StreamConfig::new(n_flows);
+    let events = traffic(1234, n_flows, 10, 350, &[2, 7], 30);
+    let watermarks: Vec<u64> = (1..=11).map(|b| b * 300).collect();
+    let (serial, serial_late) = run_serial(&config, &events, &watermarks);
+    for (label, shuffle) in [("offer order", None), ("shuffled", Some(99u64))] {
+        let (batched, late) = run_serial_batched(&config, &events, &watermarks, shuffle);
+        assert_bit_identical(&serial, &batched, &format!("serial combining ({label})"));
+        assert_eq!(late, serial_late, "late accounting ({label})");
+    }
+}
+
+#[test]
+fn combining_matches_per_packet_across_shards_with_late_and_gap_bins() {
+    // The sharded batch path *is* the combining path; pin it against the
+    // per-packet serial spec across every shard count on a fixture that
+    // exercises late events and gap bins, with batches spanning several
+    // bins (so the sort-and-group really reorders across cells).
+    let n_flows = 23;
+    let config = StreamConfig::new(n_flows).with_lateness(60);
+    let events = traffic(77, n_flows, 9, 300, &[4], 20);
+    // Coarse watermarks: every batch covers ~3 bins.
+    let watermarks: Vec<u64> = (1..=3).map(|b| b * 1000).collect();
+    let (serial, serial_late) = run_serial(&config, &events, &watermarks);
+    assert!(serial_late > 0, "fixture must exercise late events");
+    for shards in SHARD_COUNTS {
+        let (sharded, late) = run_sharded(&config, shards, &events, &watermarks);
+        assert_bit_identical(&serial, &sharded, &format!("combining {shards} shards"));
+        assert_eq!(late, serial_late);
+    }
+}
+
+#[test]
+fn combining_flow_record_batches_match_packet_offers() {
+    // The NetFlow front door: the same traffic offered as aggregated flow
+    // records through the combining path — serial and sharded — must
+    // match the per-packet serial feed exactly (record aggregation and
+    // run combining preserve per-cell counts, and counts are all the
+    // summaries see).
+    let n_flows = 13;
+    let config = StreamConfig::new(n_flows);
+    let events = traffic(555, n_flows, 5, 250, &[1], 0);
+
+    let mut serial = StreamingGridBuilder::new(config.clone()).unwrap();
+    for (flow, pkt) in &events {
+        serial.offer_packet(*flow, pkt).unwrap();
+    }
+    let serial_bins = serial.finish();
+
+    // One record batch covering the whole stream, aggregated per cell.
+    let mut batch = Vec::new();
+    for bin in 0..5usize {
+        for flow in 0..n_flows {
+            let cell: Vec<PacketHeader> = events
+                .iter()
+                .filter(|(f, p)| *f == flow && (p.timestamp / 300) as usize == bin)
+                .map(|(_, p)| *p)
+                .collect();
+            for rec in aggregate_bin(&cell) {
+                batch.push((flow, rec));
+            }
+        }
+    }
+
+    let mut serial_rec = StreamingGridBuilder::new(config.clone()).unwrap();
+    serial_rec.offer_flows(&batch).unwrap();
+    assert_bit_identical(&serial_bins, &serial_rec.finish(), "serial flow records");
+
+    for shards in SHARD_COUNTS {
+        let mut sharded = ShardedGridBuilder::new(config.clone(), shards).unwrap();
+        sharded.offer_flows(&batch).unwrap();
+        assert_bit_identical(
+            &serial_bins,
+            &sharded.finish(),
+            &format!("{shards}-shard flow records"),
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn combining_equals_per_packet_on_random_streams(
+        seed in 0u64..10_000,
+        n_flows in 1usize..40,
+        n_bins in 2usize..9,
+        per_bin in 1usize..120,
+        gap in 0usize..8,
+        stragglers in 0usize..12,
+        shuffle_seed in 0u64..1000,
+    ) {
+        let config = StreamConfig::new(n_flows);
+        let gaps = [gap % n_bins];
+        let events = traffic(seed, n_flows, n_bins, per_bin, &gaps, stragglers);
+        let watermarks: Vec<u64> = (1..=(n_bins as u64 + 1)).map(|b| b * 300).collect();
+        let (serial, serial_late) = run_serial(&config, &events, &watermarks);
+        let (batched, late) =
+            run_serial_batched(&config, &events, &watermarks, Some(shuffle_seed));
+        assert_bit_identical(&serial, &batched, &format!("serial combining (seed {seed})"));
+        prop_assert_eq!(late, serial_late);
+    }
 
     #[test]
     fn sharded_equals_serial_on_random_streams(
