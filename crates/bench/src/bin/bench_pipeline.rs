@@ -31,15 +31,25 @@
 //!   against the serial builder: per-packet serial baseline vs batched
 //!   shard counts 1/2/8. The fan-out is thread-bound, so per-shard
 //!   scaling only shows on multi-core hosts (`threads_available` is
-//!   recorded alongside).
+//!   recorded alongside). Includes the scratch-reuse comparison: the
+//!   per-shard sort buffers recycled across batches vs allocated fresh
+//!   every batch.
+//! * `ingest_sketched` — the bounded-memory sketched tier
+//!   (`AccumulatorPolicy::Sketched`) against the exact plane: a
+//!   2^20-distinct-source scale feed where the exact tier's accumulator
+//!   heap blows far past the sketch's documented ceiling while the
+//!   sketched plane stays under it, with the entropy error pinned inside
+//!   the documented bound; plus a whole-plane per-store bound check over
+//!   the abilene ingest feed at a deliberately tight budget.
 //! * `block_matvec` — the subspace-iteration block multiply at Geant
 //!   width: serial reference vs the scoped-thread row fan-out.
 //! * `score` — `StreamingDiagnoser` throughput over finalized bins.
 //!
 //! `--ingest-smoke` runs only the ingest comparison — per-packet,
 //! combining, flow-record, and sharded paths, with their outputs asserted
-//! bit-identical — and prints it to stdout (the CI regression probe);
-//! nothing is written.
+//! bit-identical, the scratch-reuse ratio, and the sketched tier with
+//! every emitted entropy asserted within its documented error bound —
+//! and prints it to stdout (the CI regression probe); nothing is written.
 
 use entromine::linalg::{block_matvec, block_matvec_serial, sym_eigen, FitStrategy, Pca};
 use entromine::net::flow::{aggregate_bin, FlowRecord};
@@ -48,7 +58,10 @@ use entromine::subspace::{DimSelection, SubspaceModel};
 use entromine::synth::{Dataset, DatasetConfig};
 use entromine::Diagnoser;
 use entromine_bench::traffic_matrix;
-use entromine_entropy::{FinalizedBin, ShardedGridBuilder, StreamConfig, StreamingGridBuilder};
+use entromine_entropy::{
+    AccumulatorPolicy, DistributionAccumulator, FeatureHistogram, FinalizedBin, ShardedGridBuilder,
+    SketchHistogram, SketchParams, StreamConfig, StreamingGridBuilder, DEFAULT_BUDGET,
+};
 use std::time::Instant;
 
 /// Best-of-`reps` wall-clock milliseconds of `f`.
@@ -94,6 +107,20 @@ struct IngestBench {
     combined_ms: f64,
     records_ms: f64,
     runs: Vec<IngestRun>,
+    /// Shard count the scratch-reuse comparison ran at (the widest).
+    scratch_shards: usize,
+    /// Sharded plane with per-shard sort/keys buffers recycled across
+    /// batches (the production default).
+    scratch_reuse_ms: f64,
+    /// Same plane with reuse off — fresh buffers every batch, the
+    /// behavior the recycling replaced.
+    scratch_alloc_ms: f64,
+    /// Budget the sketched-tier equivalence check ran at.
+    sketch_budget: usize,
+    /// Max per-store sketched-entropy error over the feed, in bits.
+    sketch_err_bits: f64,
+    /// Max documented per-store error bound over the feed, in bits.
+    sketch_bound_bits: f64,
     burst: BurstBench,
 }
 
@@ -145,19 +172,248 @@ fn ingest_records(rec_feed: &[Vec<(usize, FlowRecord)>], p: usize) -> Vec<Finali
     out
 }
 
-/// Drives the sharded plane, collecting output.
-fn ingest_sharded(
+/// Drives the sharded plane, collecting output. `scratch_reuse` toggles
+/// the per-shard sort/keys scratch recycling (on by default in
+/// production; off reproduces the allocate-per-batch behavior it
+/// replaced).
+fn ingest_sharded_with(
     feed: &[Vec<(usize, PacketHeader)>],
     p: usize,
     shards: usize,
+    scratch_reuse: bool,
 ) -> Vec<FinalizedBin> {
     let mut grid = ShardedGridBuilder::new(StreamConfig::new(p), shards).unwrap();
+    grid.set_scratch_reuse(scratch_reuse);
     let mut out = Vec::new();
     for (bin, batch) in feed.iter().enumerate() {
         grid.offer_packets(batch).unwrap();
         out.extend(grid.advance_watermark((bin + 1) as u64 * DatasetConfig::BIN_SECS));
     }
     out
+}
+
+/// Drives the sharded plane with its production defaults.
+fn ingest_sharded(
+    feed: &[Vec<(usize, PacketHeader)>],
+    p: usize,
+    shards: usize,
+) -> Vec<FinalizedBin> {
+    ingest_sharded_with(feed, p, shards, true)
+}
+
+/// Runs the sketched serial plane over the feed, then replays the same
+/// traffic into direct per-(flow, feature) accumulator pairs — one exact
+/// histogram and one sketch per store — and asserts every plane-emitted
+/// entropy (a) equals direct sketch accumulation bit for bit and (b)
+/// sits within the sketch's documented error bound of the exact value.
+/// Returns `(max_abs_err_bits, max_bound_bits)` over every store.
+fn check_sketched_ingest(
+    feed: &[Vec<(usize, PacketHeader)>],
+    p: usize,
+    budget: usize,
+) -> (f64, f64) {
+    let mut plane = AccumulatorPolicy::Sketched { budget }
+        .streaming(StreamConfig::new(p))
+        .unwrap();
+    let mut sealed = Vec::new();
+    for (bin, batch) in feed.iter().enumerate() {
+        plane.offer_packets(batch).unwrap();
+        sealed.extend(plane.advance_watermark((bin + 1) as u64 * DatasetConfig::BIN_SECS));
+    }
+    assert_eq!(sealed.len(), feed.len());
+
+    let (mut max_err, mut max_bound) = (0.0f64, 0.0f64);
+    for (bin, fb) in sealed.iter().enumerate() {
+        let mut exact: Vec<[FeatureHistogram; 4]> = (0..p).map(|_| Default::default()).collect();
+        let mut sketch: Vec<[SketchHistogram; 4]> = (0..p)
+            .map(|_| std::array::from_fn(|_| SketchHistogram::new(SketchParams { budget })))
+            .collect();
+        for (flow, pkt) in &feed[bin] {
+            let keys = [
+                pkt.src_ip.0,
+                pkt.src_port as u32,
+                pkt.dst_ip.0,
+                pkt.dst_port as u32,
+            ];
+            for (k, &key) in keys.iter().enumerate() {
+                exact[*flow][k].add(key);
+                sketch[*flow][k].offer_n(key, 1);
+            }
+        }
+        for flow in 0..p {
+            for k in 0..4 {
+                let emitted = fb.summaries[flow].entropy[k];
+                let direct = sketch[flow][k].entropy();
+                assert_eq!(
+                    emitted.to_bits(),
+                    direct.to_bits(),
+                    "bin {bin} flow {flow} feature {k}: plane-emitted sketched entropy \
+                     diverged from direct accumulation"
+                );
+                let bound = sketch[flow][k].error_bound_against(&exact[flow][k]);
+                let err = (emitted - exact[flow][k].entropy()).abs();
+                assert!(
+                    err <= bound,
+                    "bin {bin} flow {flow} feature {k}: sketched entropy error {err:.4} bits \
+                     exceeds the documented bound {bound:.4}"
+                );
+                max_err = max_err.max(err);
+                max_bound = max_bound.max(bound);
+            }
+        }
+    }
+    (max_err, max_bound)
+}
+
+/// Results of the bounded-memory scale-tier comparison: the sketched
+/// plane against the exact plane on a feed wide enough (>= 1e6 distinct
+/// source addresses in one bin) that the exact tier's accumulator heap
+/// blows far past the sketch budget's documented ceiling.
+struct SketchedBench {
+    budget: usize,
+    distinct_keys: usize,
+    packets: usize,
+    exact_ms: f64,
+    sketched_ms: f64,
+    exact_peak_heap: usize,
+    sketched_peak_heap: usize,
+    /// `4 * SketchHistogram::heap_ceiling(budget)`: the documented
+    /// worst-case accumulator heap of the single open (flow, bin) cell.
+    sketched_ceiling: usize,
+    /// Measured srcIP entropy error of the sketched plane, in bits.
+    err_bits: f64,
+    /// The documented bound the error must sit under, in bits.
+    bound_bits: f64,
+    exact_entropy: f64,
+    sketched_entropy: f64,
+}
+
+/// Benchmarks the sketched tier on the scale feed: one OD flow, one bin,
+/// `1 << 20` distinct source addresses (well past any practical exact
+/// budget), offered in production-sized batches.
+fn bench_ingest_sketched(budget: usize) -> SketchedBench {
+    let distinct: usize = 1 << 20;
+    println!("sketched scale tier ({distinct} distinct source addresses, budget {budget}) ...");
+    // Knuth-stride keys spread over the whole address space; each key's
+    // packet count cycles 1..=8 so the count multiset is non-uniform and
+    // the entropy term sum genuinely exercises the estimator (identical
+    // back-to-back packets collapse in the combining path, so the
+    // repeats cost runs, not probes). Ports/dst stay narrow — the memory
+    // story is the srcIP store.
+    let batches: Vec<Vec<(usize, PacketHeader)>> = (0..distinct)
+        .collect::<Vec<_>>()
+        .chunks(1 << 16)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .flat_map(|&i| {
+                    let key = (i as u32).wrapping_mul(2_654_435_761);
+                    let pkt = PacketHeader::tcp(
+                        entromine::net::Ipv4(key),
+                        (i % 1021) as u16,
+                        entromine::net::Ipv4(0x0A00_0001),
+                        80,
+                        400,
+                        0,
+                    );
+                    std::iter::repeat_n((0usize, pkt), 1 + (i & 7))
+                })
+                .collect()
+        })
+        .collect();
+    let packets: usize = batches.iter().map(Vec::len).sum();
+
+    // Drive each tier through the policy facade; peak accumulator heap is
+    // gauged while the bin is still open, right after the last batch.
+    let run_tier = |policy: AccumulatorPolicy| -> (Vec<FinalizedBin>, usize) {
+        let mut plane = policy.streaming(StreamConfig::new(1)).unwrap();
+        for batch in &batches {
+            plane.offer_packets(batch).unwrap();
+        }
+        let peak = plane.accumulator_heap_bytes();
+        (plane.finish(), peak)
+    };
+    let (exact_bins, exact_peak_heap) = run_tier(AccumulatorPolicy::Exact);
+    let (sketched_bins, sketched_peak_heap) = run_tier(AccumulatorPolicy::Sketched { budget });
+    let sketched_ceiling = 4 * SketchHistogram::heap_ceiling(budget);
+    assert!(
+        sketched_peak_heap <= sketched_ceiling,
+        "sketched plane heap {sketched_peak_heap} exceeded its documented ceiling \
+         {sketched_ceiling}"
+    );
+    assert!(
+        exact_peak_heap > 8 * sketched_ceiling,
+        "scale feed failed to push the exact tier ({exact_peak_heap} B) well past the \
+         sketch ceiling ({sketched_ceiling} B)"
+    );
+
+    // Pin the srcIP entropy error against the documented bound by direct
+    // accumulation of the same key stream.
+    let mut exact_hist = FeatureHistogram::new();
+    let mut sketch = SketchHistogram::new(SketchParams { budget });
+    for batch in &batches {
+        for (_, pkt) in batch {
+            exact_hist.add(pkt.src_ip.0);
+            sketch.offer_n(pkt.src_ip.0, 1);
+        }
+    }
+    let exact_entropy = exact_hist.entropy();
+    let sketched_entropy = sketch.entropy();
+    assert_eq!(
+        sketched_entropy.to_bits(),
+        sketched_bins[0].summaries[0].entropy[0].to_bits(),
+        "plane-emitted srcIP entropy diverged from direct sketch accumulation"
+    );
+    assert_eq!(
+        exact_entropy.to_bits(),
+        exact_bins[0].summaries[0].entropy[0].to_bits(),
+        "plane-emitted srcIP entropy diverged from direct exact accumulation"
+    );
+    let bound_bits = sketch.error_bound_against(&exact_hist);
+    let err_bits = (sketched_entropy - exact_entropy).abs();
+    assert!(
+        err_bits <= bound_bits,
+        "scale-feed entropy error {err_bits:.4} bits exceeds the documented bound \
+         {bound_bits:.4}"
+    );
+
+    let exact_ms = best_ms_n(2, || {
+        assert_eq!(run_tier(AccumulatorPolicy::Exact).0.len(), 1);
+    });
+    let sketched_ms = best_ms_n(2, || {
+        assert_eq!(run_tier(AccumulatorPolicy::Sketched { budget }).0.len(), 1);
+    });
+    println!(
+        "  exact    : {exact_ms:.1} ms ({:.2e} packets/s, peak heap {:.1} MiB)",
+        packets as f64 / (exact_ms / 1e3),
+        exact_peak_heap as f64 / (1 << 20) as f64
+    );
+    println!(
+        "  sketched : {sketched_ms:.1} ms ({:.2e} packets/s, peak heap {:.1} KiB, \
+         ceiling {:.1} KiB)",
+        packets as f64 / (sketched_ms / 1e3),
+        sketched_peak_heap as f64 / 1024.0,
+        sketched_ceiling as f64 / 1024.0
+    );
+    println!(
+        "  srcIP entropy: exact {exact_entropy:.4}, sketched {sketched_entropy:.4} \
+         (err {err_bits:.4} <= bound {bound_bits:.4} bits)"
+    );
+
+    SketchedBench {
+        budget,
+        distinct_keys: distinct,
+        packets,
+        exact_ms,
+        sketched_ms,
+        exact_peak_heap,
+        sketched_peak_heap,
+        sketched_ceiling,
+        err_bits,
+        bound_bits,
+        exact_entropy,
+        sketched_entropy,
+    }
 }
 
 /// Benchmarks the ingest planes on one shared pre-materialized feed. All
@@ -287,6 +543,45 @@ fn bench_ingest(shard_counts: &[usize]) -> IngestBench {
         })
         .collect();
 
+    // Scratch-buffer reuse: the per-shard sort/keys buffers are recycled
+    // across batches by default; turning reuse off reproduces the
+    // allocate-per-batch plane it replaced. Same feed, widest shard
+    // count, output equivalence gated like every other path.
+    let scratch_shards = *shard_counts.last().unwrap();
+    assert_eq!(
+        reference,
+        ingest_sharded_with(&feed, p, scratch_shards, false),
+        "scratch-reuse-off plane diverged from per-packet offers"
+    );
+    let scratch_reuse_ms = best_ms(|| {
+        assert_eq!(
+            ingest_sharded_with(&feed, p, scratch_shards, true).len(),
+            bins
+        );
+    });
+    let scratch_alloc_ms = best_ms(|| {
+        assert_eq!(
+            ingest_sharded_with(&feed, p, scratch_shards, false).len(),
+            bins
+        );
+    });
+    println!(
+        "  scratch reuse ({scratch_shards} shards): {scratch_reuse_ms:.1} ms vs \
+         allocate-per-batch {scratch_alloc_ms:.1} ms ({:.2}x)",
+        scratch_alloc_ms / scratch_reuse_ms
+    );
+
+    // Sketched tier over the same feed: every plane-emitted entropy must
+    // sit within the documented per-store error bound of the exact tier
+    // (and match direct sketch accumulation bit for bit). The budget is
+    // deliberately small so the larger cells genuinely subsample.
+    let sketch_budget = 1024;
+    let (sketch_err_bits, sketch_bound_bits) = check_sketched_ingest(&feed, p, sketch_budget);
+    println!(
+        "  sketched tier (budget {sketch_budget}): max entropy err {sketch_err_bits:.4} bits \
+         (documented bound <= {sketch_bound_bits:.4})"
+    );
+
     // Burst-shaped feed: every sampled packet expanded into a burst of 8
     // identical-tuple packets (fewer bins to bound the feed's memory).
     const BURST: usize = 8;
@@ -332,6 +627,12 @@ fn bench_ingest(shard_counts: &[usize]) -> IngestBench {
         combined_ms,
         records_ms,
         runs,
+        scratch_shards,
+        scratch_reuse_ms,
+        scratch_alloc_ms,
+        sketch_budget,
+        sketch_err_bits,
+        sketch_bound_bits,
         burst: BurstBench {
             factor: BURST,
             bins: burst_bins,
@@ -377,7 +678,20 @@ fn main() {
             ingest.burst.combined_ms,
             ingest.burst.per_packet_ms / ingest.burst.combined_ms,
         );
-        println!("ingest smoke: per-packet, combined, flow-record, and sharded outputs verified bit-identical");
+        println!(
+            "ingest smoke (scratch reuse, {} shards): {:.1} ms reuse vs {:.1} ms \
+             allocate-per-batch ({:.2}x)",
+            ingest.scratch_shards,
+            ingest.scratch_reuse_ms,
+            ingest.scratch_alloc_ms,
+            ingest.scratch_alloc_ms / ingest.scratch_reuse_ms,
+        );
+        println!(
+            "ingest smoke (sketched, budget {}): max entropy err {:.4} bits within the \
+             documented bound {:.4}",
+            ingest.sketch_budget, ingest.sketch_err_bits, ingest.sketch_bound_bits,
+        );
+        println!("ingest smoke: per-packet, combined, flow-record, and sharded outputs verified bit-identical; sketched entropies verified within the documented error bound");
         return;
     }
     let out_path = args
@@ -495,6 +809,9 @@ fn main() {
 
     // -- sharded ingest plane --------------------------------------------
     let ingest_sharded = bench_ingest(&[1, 2, 8]);
+
+    // -- sketched scale tier ---------------------------------------------
+    let sketched = bench_ingest_sketched(DEFAULT_BUDGET);
     let shard1_ms = ingest_sharded
         .runs
         .iter()
@@ -669,7 +986,39 @@ fn main() {
 {ingest_runs_json}
     ],
     "speedup_8_over_1": {ing_speedup_8_over_1:.3},
+    "scratch_reuse": {{
+      "shards": {ing_scr_shards},
+      "reuse_ms": {ing_scr_reuse_ms:.3},
+      "allocate_per_batch_ms": {ing_scr_alloc_ms:.3},
+      "speedup": {ing_scr_speedup:.3},
+      "note": "per-shard sort/keys scratch buffers recycled across batches (production default) vs freshly allocated every batch (the behavior recycling replaced); outputs verified bit-identical"
+    }},
     "note": "per-shard accumulation fans out over scoped threads; 8-over-1 scaling requires >= 8 cores (threads_available above records this host)"
+  }},
+  "ingest_sketched": {{
+    "budget": {sk_budget},
+    "scale_feed": {{
+      "distinct_keys": {sk_distinct},
+      "packets": {sk_packets},
+      "exact_ms": {sk_exact_ms:.3},
+      "exact_pkts_per_sec": {sk_exact_pps:.1},
+      "exact_peak_accumulator_heap_bytes": {sk_exact_heap},
+      "sketched_ms": {sk_sketched_ms:.3},
+      "sketched_pkts_per_sec": {sk_sketched_pps:.1},
+      "sketched_peak_accumulator_heap_bytes": {sk_sketched_heap},
+      "sketched_heap_ceiling_bytes": {sk_ceiling},
+      "exact_over_ceiling": {sk_heap_ratio:.1},
+      "src_ip_entropy_exact_bits": {sk_h_exact:.6},
+      "src_ip_entropy_sketched_bits": {sk_h_sketched:.6},
+      "entropy_err_bits": {sk_err:.6},
+      "entropy_err_bound_bits": {sk_bound:.6}
+    }},
+    "plane_check": {{
+      "budget": {ing_sk_budget},
+      "max_entropy_err_bits": {ing_sk_err:.6},
+      "max_entropy_err_bound_bits": {ing_sk_bound:.6}
+    }},
+    "note": "bounded-memory tier: hash-space level sampling per (flow, bin, feature) store, selected via AccumulatorPolicy::Sketched. scale_feed is one OD flow with 2^20 distinct source addresses in one bin — the exact tier's accumulator heap exceeds the sketch's documented ceiling by exact_over_ceiling while the sketched plane stays under it with the srcIP entropy error inside the documented bound. plane_check replays the abilene ingest feed through the sketched serial plane at a deliberately tight budget and asserts every (flow, bin, feature) entropy sits within its per-store bound"
   }},
   "streaming_score": {{ "bins": {bins}, "ms": {score_ms:.3}, "bins_per_sec": {scored_bins_per_sec:.1} }}
 }}
@@ -701,6 +1050,28 @@ fn main() {
             ingest_sharded.burst.packets as f64 / (ingest_sharded.burst.combined_ms / 1e3),
         ing_b_speedup = ingest_sharded.burst.per_packet_ms / ingest_sharded.burst.combined_ms,
         ing_speedup_8_over_1 = shard1_ms / shard8_ms,
+        ing_scr_shards = ingest_sharded.scratch_shards,
+        ing_scr_reuse_ms = ingest_sharded.scratch_reuse_ms,
+        ing_scr_alloc_ms = ingest_sharded.scratch_alloc_ms,
+        ing_scr_speedup = ingest_sharded.scratch_alloc_ms / ingest_sharded.scratch_reuse_ms,
+        ing_sk_budget = ingest_sharded.sketch_budget,
+        ing_sk_err = ingest_sharded.sketch_err_bits,
+        ing_sk_bound = ingest_sharded.sketch_bound_bits,
+        sk_budget = sketched.budget,
+        sk_distinct = sketched.distinct_keys,
+        sk_packets = sketched.packets,
+        sk_exact_ms = sketched.exact_ms,
+        sk_exact_pps = sketched.packets as f64 / (sketched.exact_ms / 1e3),
+        sk_exact_heap = sketched.exact_peak_heap,
+        sk_sketched_ms = sketched.sketched_ms,
+        sk_sketched_pps = sketched.packets as f64 / (sketched.sketched_ms / 1e3),
+        sk_sketched_heap = sketched.sketched_peak_heap,
+        sk_ceiling = sketched.sketched_ceiling,
+        sk_heap_ratio = sketched.exact_peak_heap as f64 / sketched.sketched_ceiling as f64,
+        sk_h_exact = sketched.exact_entropy,
+        sk_h_sketched = sketched.sketched_entropy,
+        sk_err = sketched.err_bits,
+        sk_bound = sketched.bound_bits,
     );
     std::fs::write(&out_path, json).expect("write snapshot");
     println!("wrote {out_path}");

@@ -320,6 +320,21 @@ impl Monitor {
         &self.window
     }
 
+    /// Opens a sharded ingest plane feeding this monitor, on the tier the
+    /// diagnoser's [`AccumulatorPolicy`](entromine_entropy::AccumulatorPolicy)
+    /// selects. The config's flow count is overridden with the monitor's
+    /// own, so the plane's [`FinalizedBin`] rows always fit
+    /// [`observe_bin`](Self::observe_bin); everything else (bin length,
+    /// lateness, horizon) is taken from `config` as given.
+    pub fn ingest_plane(
+        &self,
+        mut config: entromine_entropy::StreamConfig,
+        shards: usize,
+    ) -> Result<entromine_entropy::TierShardedBuilder, entromine_entropy::StreamError> {
+        config.n_flows = self.window.n_flows();
+        self.config.diagnoser.accumulator.sharded(config, shards)
+    }
+
     /// Bins observed (scored or absorbed during warmup).
     pub fn bins_observed(&self) -> u64 {
         self.bins_observed

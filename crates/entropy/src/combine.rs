@@ -32,17 +32,22 @@
 //! offers, which `crates/entropy/tests/shard_equivalence.rs` pins.
 
 use crate::accum::BinAccumulator;
+use crate::dist::DistributionAccumulator;
+use crate::hist::FeatureHistogram;
 use crate::stream::StreamError;
 
 /// The accumulation surface the combining engine drives: anything that
 /// can lend out the accumulator of a `(bin, slot)` cell. The engine
 /// borrows each cell once per contiguous cell group and feeds it merged
-/// runs directly — no intermediate buffering.
-pub trait CellGrid {
+/// runs directly — no intermediate buffering. The grid is generic over
+/// the distribution store, so one engine serves both the exact and the
+/// sketched tier; the default keeps pre-trait implementors compiling
+/// unchanged.
+pub trait CellGrid<D: DistributionAccumulator = FeatureHistogram> {
     /// Borrows (opening if necessary) the accumulator for `slot` at
     /// `bin`. `slot` is whatever index space the caller's ranks use
     /// (global flow for the serial plane, shard-local for shards).
-    fn cell(&mut self, bin: usize, slot: usize) -> &mut BinAccumulator;
+    fn cell(&mut self, bin: usize, slot: usize) -> &mut BinAccumulator<D>;
 }
 
 /// The admission rules of a grid builder, hoisted out so the serial and
@@ -270,10 +275,10 @@ pub fn validate_grouped<E: IngestEvent>(
 /// Callers must have established via [`validate_grouped`] that admitted
 /// cell ranks are non-decreasing; runs of one cell are then contiguous
 /// (up to interleaved late events), so adjacent-merge is complete.
-pub fn accumulate_in_order<E: IngestEvent>(
+pub fn accumulate_in_order<E: IngestEvent, D: DistributionAccumulator>(
     batch: &[(usize, E)],
     adm: &Admission,
-    grid: &mut impl CellGrid,
+    grid: &mut impl CellGrid<D>,
 ) {
     let late_below = adm.next_emit as u128 * adm.bin_secs as u128;
     let len = batch.len();
@@ -347,12 +352,12 @@ pub(crate) fn rank_keys<E: IngestEvent>(
 /// runs, and feeds them to the grid cell by cell, where
 /// `rank = (bin − next_emit) · stride + slot` — the general-order path
 /// behind [`accumulate_in_order`]'s fast path.
-pub(crate) fn accumulate_grouped<E: IngestEvent>(
+pub(crate) fn accumulate_grouped<E: IngestEvent, D: DistributionAccumulator>(
     batch: &[(usize, E)],
     keys: &mut [(u64, u32)],
     stride: usize,
     next_emit: usize,
-    grid: &mut impl CellGrid,
+    grid: &mut impl CellGrid<D>,
 ) {
     keys.sort_unstable();
     let mut k = 0;

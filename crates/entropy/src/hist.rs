@@ -78,9 +78,12 @@ pub type DetState = BuildHasherDefault<FxHasher>;
 
 /// The flat table's hash: exactly what [`FxHasher`] computes for one
 /// `u32` write (the rotate of the zero initial state is a no-op, leaving
-/// the single multiply).
+/// the single multiply). Shared with the sketched tier
+/// (`crate::sketch`), whose level-sampling admission test reads the high
+/// bits of this same product — one deterministic hash for the whole
+/// accumulation plane.
 #[inline(always)]
-fn fx_hash(key: u32) -> u64 {
+pub(crate) fn fx_hash(key: u32) -> u64 {
     (key as u64).wrapping_mul(FxHasher::SEED)
 }
 
@@ -348,6 +351,15 @@ impl FeatureHistogram {
     /// The single most frequent value, if any (ties broken by value).
     pub fn heavy_hitter(&self) -> Option<(u32, u64)> {
         self.top_k(1).into_iter().next()
+    }
+
+    /// Bytes of heap currently owned by the table (the two parallel slot
+    /// columns; the struct header itself is not counted). This is the
+    /// number the memory-tier benches and ceilings account against: a
+    /// `u32` key column plus a `u64` count column is 12 bytes per slot.
+    pub fn heap_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<u32>()
+            + self.counts.capacity() * std::mem::size_of::<u64>()
     }
 
     /// The fraction of observations belonging to the most frequent value

@@ -37,25 +37,43 @@
 //!   per-shard builders behind a watermark coordinator, with scoped-thread
 //!   batch fan-out, emitting bit-identical `FinalizedBin` rows to the
 //!   serial builder at any shard count.
+//! * [`DistributionAccumulator`] — the trait the whole accumulation plane
+//!   is generic over, with two tiers: the exact [`FeatureHistogram`]
+//!   (default everywhere; bit-identical to the pre-trait plane) and the
+//!   bounded-memory [`SketchHistogram`] (hash-space level sampling with a
+//!   documented entropy error bound, see [`sketch`]). Deployments pick a
+//!   tier at run time via [`AccumulatorPolicy`], which opens
+//!   [`TierGridBuilder`] / [`TierShardedBuilder`] facades.
+//! * [`PrefixRollup`] — hierarchical src/dst aggregation trees over any
+//!   store, so sketched cells can answer coarse-prefix diagnosis queries
+//!   with Horvitz–Thompson-scaled masses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod accum;
 mod combine;
+mod dist;
 mod hist;
 mod metrics;
+mod policy;
+pub mod rollup;
 pub mod shard;
+pub mod sketch;
 pub mod stream;
 mod tensor;
 
 pub use accum::{BinAccumulator, BinSummary};
+pub use dist::DistributionAccumulator;
 pub use hist::{FeatureHistogram, MapHistogram};
 pub use metrics::{
     distinct_count, entropy_from_sorted_counts, gini_coefficient, normalized_entropy,
     sample_entropy, simpson_index,
 };
+pub use policy::{AccumulatorPolicy, TierGridBuilder, TierShardedBuilder};
+pub use rollup::PrefixRollup;
 pub use shard::ShardedGridBuilder;
+pub use sketch::{SketchHistogram, SketchParams, DEFAULT_BUDGET};
 pub use stream::{FinalizedBin, StreamConfig, StreamError, StreamingGridBuilder};
 pub use tensor::{EntropyTensor, TensorBuilder, VolumeMatrix};
 

@@ -55,7 +55,7 @@ fn count_term_table() -> &'static [f64; TERM_TABLE_LEN] {
 
 /// `n · log2(n)` with the small-count fast path (0 for `n <= 1`).
 #[inline]
-fn count_term(n: u64) -> f64 {
+pub(crate) fn count_term(n: u64) -> f64 {
     if (n as usize) < TERM_TABLE_LEN {
         count_term_table()[n as usize]
     } else {
@@ -77,13 +77,14 @@ fn neumaier(sum: &mut f64, comp: &mut f64, term: f64) {
     *sum = t;
 }
 
-/// The canonical entropy reduction: Neumaier-compensated summation of
-/// `multiplicity · (c · log2 c)` over count groups `(c, multiplicity)`
-/// in **ascending count order**, closed with `log2(S) − T/S`. Every
-/// entropy path in the crate funnels through this one sequence of
-/// floating-point operations, which is what makes the value a pure
-/// function of the count multiset.
-fn entropy_from_count_groups(total: u64, groups: impl Iterator<Item = (u64, u64)>) -> f64 {
+/// The shared correction sum `T = Σ multiplicity · (c · log2 c)` over
+/// count groups `(c, multiplicity)` in **ascending count order**, with
+/// Neumaier compensation. This is the only floating-point reduction in
+/// any entropy path: the exact tier closes it with `log2(S) − T/S`, and
+/// the sketched tier (`crate::sketch`) scales it by the inverse sampling
+/// rate before the same closing step, so the two tiers share one FP
+/// sequence wherever their inputs coincide.
+pub(crate) fn weighted_term_sum(groups: impl Iterator<Item = (u64, u64)>) -> f64 {
     let mut sum = 0.0;
     let mut comp = 0.0;
     for (c, multiplicity) in groups {
@@ -93,12 +94,21 @@ fn entropy_from_count_groups(total: u64, groups: impl Iterator<Item = (u64, u64)
             neumaier(&mut sum, &mut comp, multiplicity as f64 * count_term(c));
         }
     }
+    sum + comp
+}
+
+/// The canonical entropy reduction: [`weighted_term_sum`] over ascending
+/// count groups, closed with `log2(S) − T/S`. Every entropy path in the
+/// crate funnels through this one sequence of floating-point operations,
+/// which is what makes the value a pure function of the count multiset.
+fn entropy_from_count_groups(total: u64, groups: impl Iterator<Item = (u64, u64)>) -> f64 {
+    let t = weighted_term_sum(groups);
     let s = total as f64;
-    (s.log2() - (sum + comp) / s).max(0.0)
+    (s.log2() - t / s).max(0.0)
 }
 
 /// Groups an ascending count slice into `(count, multiplicity)` pairs.
-fn sorted_groups(counts: &[u64]) -> impl Iterator<Item = (u64, u64)> + '_ {
+pub(crate) fn sorted_groups(counts: &[u64]) -> impl Iterator<Item = (u64, u64)> + '_ {
     let mut i = 0;
     std::iter::from_fn(move || {
         if i >= counts.len() {

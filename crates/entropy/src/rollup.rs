@@ -1,0 +1,210 @@
+//! Hierarchical prefix rollup over a distribution store.
+//!
+//! The paper's diagnosis step wants coarser views of an anomalous cell
+//! than single addresses: "which /8 (or /16) does the scan traffic
+//! concentrate in?" is answered by aggregating a feature store's mass up
+//! an address-prefix tree. [`PrefixRollup`] builds that tree from any
+//! [`DistributionAccumulator`] — exact or sketched — by bucketing each
+//! retained value's count under its top `w` bits for every requested
+//! width `w`.
+//!
+//! For the exact tier the rollup is exact: the mass of a prefix is the
+//! true packet count under it. For the sketched tier each retained count
+//! is scaled by the store's inverse inclusion probability
+//! ([`DistributionAccumulator::scale`]) — the Horvitz–Thompson estimate
+//! of the prefix mass, unbiased for every prefix at every width. This is
+//! the point of rolling up *after* sketching: coarse prefixes aggregate
+//! many survivors, so their relative error shrinks exactly where the
+//! diagnosis questions are asked.
+//!
+//! Two invariants hold in both tiers, and the tests pin them:
+//!
+//! * **Conservation across widths**: a prefix's mass equals the sum of
+//!   its children's masses at any finer width (all levels are built from
+//!   one survivor set).
+//! * **Root mass**: the width-0 rollup holds the store's whole retained
+//!   mass — for the exact tier, exactly [`total`]; for the sketched tier,
+//!   the HT estimate of it.
+//!
+//! [`total`]: DistributionAccumulator::total
+
+use crate::dist::DistributionAccumulator;
+use std::collections::BTreeMap;
+
+/// Aggregation tree over one feature store: per requested prefix width,
+/// the raw retained mass under every non-empty prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefixRollup {
+    /// The prefix widths (leading-bit counts, 0–32), as requested.
+    widths: Vec<u8>,
+    /// Inverse inclusion probability of the source store's retained
+    /// entries (1.0 for exact tiers).
+    scale: f64,
+    /// Per width (parallel to `widths`), prefix → raw retained count.
+    levels: Vec<BTreeMap<u32, u64>>,
+}
+
+impl PrefixRollup {
+    /// Builds the rollup of `store` at the given `widths`. Widths above
+    /// 32 are clamped to 32 (the full value); duplicates are honored as
+    /// given so callers can index levels positionally.
+    pub fn from_accumulator<D: DistributionAccumulator>(store: &D, widths: &[u8]) -> Self {
+        let entries = store.retained_entries();
+        let widths: Vec<u8> = widths.iter().map(|&w| w.min(32)).collect();
+        let levels = widths
+            .iter()
+            .map(|&w| {
+                let mut level: BTreeMap<u32, u64> = BTreeMap::new();
+                for &(value, count) in &entries {
+                    *level.entry(prefix_of(value, w)).or_insert(0) += count;
+                }
+                level
+            })
+            .collect();
+        PrefixRollup {
+            widths,
+            scale: store.scale(),
+            levels,
+        }
+    }
+
+    /// The widths this rollup was built at.
+    pub fn widths(&self) -> &[u8] {
+        &self.widths
+    }
+
+    /// The estimated population mass (packet count) under `prefix` at
+    /// `width` — exact for exact tiers, the Horvitz–Thompson estimate for
+    /// sketched ones. Unknown widths and empty prefixes report 0.
+    pub fn mass(&self, width: u8, prefix: u32) -> f64 {
+        match self.level_of(width) {
+            Some(level) => level.get(&prefix).copied().unwrap_or(0) as f64 * self.scale,
+            None => 0.0,
+        }
+    }
+
+    /// Number of non-empty prefixes at `width` (0 for unknown widths).
+    pub fn prefixes_at(&self, width: u8) -> usize {
+        self.level_of(width).map_or(0, BTreeMap::len)
+    }
+
+    /// The `k` heaviest prefixes at `width` with their estimated masses,
+    /// heaviest first. Deterministic: ties break toward the smaller
+    /// prefix, mirroring the histograms' `top_k` discipline.
+    pub fn top_prefixes(&self, width: u8, k: usize) -> Vec<(u32, f64)> {
+        let Some(level) = self.level_of(width) else {
+            return Vec::new();
+        };
+        let mut entries: Vec<(u32, u64)> = level.iter().map(|(&p, &c)| (p, c)).collect();
+        entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        entries.truncate(k);
+        entries
+            .into_iter()
+            .map(|(p, c)| (p, c as f64 * self.scale))
+            .collect()
+    }
+
+    /// The whole retained mass, scaled — what the width-0 root holds.
+    pub fn total_mass(&self) -> f64 {
+        match self.levels.first() {
+            Some(level) => level.values().sum::<u64>() as f64 * self.scale,
+            None => 0.0,
+        }
+    }
+
+    fn level_of(&self, width: u8) -> Option<&BTreeMap<u32, u64>> {
+        self.widths
+            .iter()
+            .position(|&w| w == width)
+            .map(|i| &self.levels[i])
+    }
+}
+
+/// The top `width` bits of `value`, right-aligned; width 0 is the root
+/// prefix 0.
+fn prefix_of(value: u32, width: u8) -> u32 {
+    if width == 0 {
+        0
+    } else {
+        value >> (32 - width as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::FeatureHistogram;
+    use crate::sketch::{SketchHistogram, SketchParams};
+
+    #[test]
+    fn prefix_extraction() {
+        assert_eq!(prefix_of(0xC0A8_0101, 8), 0xC0);
+        assert_eq!(prefix_of(0xC0A8_0101, 16), 0xC0A8);
+        assert_eq!(prefix_of(0xC0A8_0101, 32), 0xC0A8_0101);
+        assert_eq!(prefix_of(u32::MAX, 0), 0);
+        assert_eq!(prefix_of(u32::MAX, 1), 1);
+    }
+
+    #[test]
+    fn exact_rollup_is_exact_and_conserved() {
+        let mut h = FeatureHistogram::new();
+        // Two /8s: 10.x (3 distinct hosts, 6 packets) and 192.x (1 host,
+        // 4 packets).
+        h.add_n(0x0A00_0001, 1);
+        h.add_n(0x0A00_0002, 2);
+        h.add_n(0x0A01_0001, 3);
+        h.add_n(0xC0A8_0101, 4);
+        let r = PrefixRollup::from_accumulator(&h, &[0, 8, 16]);
+        assert_eq!(r.mass(8, 0x0A), 6.0);
+        assert_eq!(r.mass(8, 0xC0), 4.0);
+        assert_eq!(r.mass(16, 0x0A00), 3.0);
+        assert_eq!(r.mass(16, 0x0A01), 3.0);
+        assert_eq!(r.mass(0, 0), h.total() as f64);
+        assert_eq!(r.total_mass(), 10.0);
+        // Conservation: every /8's mass is the sum of its /16 children.
+        assert_eq!(r.mass(8, 0x0A), r.mass(16, 0x0A00) + r.mass(16, 0x0A01));
+        assert_eq!(r.prefixes_at(8), 2);
+        assert_eq!(r.prefixes_at(16), 3);
+        assert_eq!(r.mass(8, 0x7F), 0.0, "empty prefix");
+        assert_eq!(r.mass(24, 0x0A), 0.0, "unrequested width");
+    }
+
+    #[test]
+    fn top_prefixes_deterministic_ties() {
+        let mut h = FeatureHistogram::new();
+        h.add_n(0x0100_0000, 5);
+        h.add_n(0x0200_0000, 5);
+        h.add_n(0x0300_0000, 2);
+        let r = PrefixRollup::from_accumulator(&h, &[8]);
+        assert_eq!(r.top_prefixes(8, 2), vec![(0x01, 5.0), (0x02, 5.0)]);
+        assert_eq!(r.top_prefixes(8, 9).len(), 3);
+        assert!(r.top_prefixes(9, 1).is_empty());
+    }
+
+    #[test]
+    fn sketched_rollup_scales_and_conserves() {
+        let mut sk = SketchHistogram::new(SketchParams { budget: 64 });
+        // Keys spread across the whole address space (FNV-prime stride),
+        // enough of them to force the sketch over budget so scale > 1.
+        for i in 0..5_000u32 {
+            sk.offer_n(i.wrapping_mul(0x0100_0193), 1 + (i % 3) as u64);
+        }
+        assert!(sk.level() > 0);
+        let r = PrefixRollup::from_accumulator(&sk, &[0, 8, 16]);
+        let scale = (1u64 << sk.level()) as f64;
+        // Width-0 root = HT estimate of the whole mass.
+        let retained: u64 = sk.retained_entries().iter().map(|&(_, c)| c).sum();
+        assert_eq!(r.total_mass(), retained as f64 * scale);
+        assert_eq!(r.mass(0, 0), r.total_mass());
+        assert!(r.prefixes_at(8) > 1, "survivors span many /8s");
+        // Conservation at every level: integer sums scaled by one factor.
+        let sum8: f64 = (0..=0xFFu32).map(|p| r.mass(8, p)).sum();
+        let sum16: f64 = r.top_prefixes(16, usize::MAX).iter().map(|&(_, m)| m).sum();
+        assert_eq!(sum8, r.total_mass());
+        assert_eq!(sum16, r.total_mass());
+        // The estimate lands near the true total (loose 3x check: this is
+        // a smoke test, the error-bound suite does the real pinning).
+        let true_total = sk.total() as f64;
+        assert!(r.total_mass() > true_total / 3.0 && r.total_mass() < true_total * 3.0);
+    }
+}

@@ -61,6 +61,8 @@
 
 use crate::accum::{BinAccumulator, BinSummary};
 use crate::combine::{self, CellGrid};
+use crate::dist::DistributionAccumulator;
+use crate::hist::FeatureHistogram;
 use crate::stream::{hinted_capacities, FinalizedBin, StreamConfig, StreamError};
 use entromine_linalg::par;
 use entromine_net::flow::FlowRecord;
@@ -87,34 +89,37 @@ const SUMMARIZE_WORK: usize = 600;
 /// One shard of the ingest plane: the open-bin accumulators of the flows
 /// it owns, stored at shard-local indices.
 #[derive(Debug, Clone)]
-struct Shard {
+struct Shard<D: DistributionAccumulator = FeatureHistogram> {
     /// Global flow ids owned by this shard, ascending. `flows[local] =
     /// global`.
     flows: Vec<usize>,
     /// Open bins, keyed by bin index; each row holds one accumulator per
     /// owned flow, in `flows` order.
-    open: BTreeMap<usize, Vec<BinAccumulator>>,
+    open: BTreeMap<usize, Vec<BinAccumulator<D>>>,
     /// Per owned flow, the per-feature distinct counts of its last
     /// finalized bin with traffic — sizing hints for fresh accumulators.
     size_hints: Vec<[u32; 4]>,
+    /// Store parameters for every cell this shard opens.
+    params: D::Params,
 }
 
-impl combine::CellGrid for Shard {
+impl<D: DistributionAccumulator> combine::CellGrid<D> for Shard<D> {
     /// Borrows (opening if necessary) the local accumulator for `local`
     /// flow index at `bin`. Fresh rows are pre-sized from the hints so a
     /// steady feed never rehashes mid-bin.
-    fn cell(&mut self, bin: usize, local: usize) -> &mut BinAccumulator {
+    fn cell(&mut self, bin: usize, local: usize) -> &mut BinAccumulator<D> {
         let hints = &self.size_hints;
+        let params = &self.params;
         &mut self.open.entry(bin).or_insert_with(|| {
             hints
                 .iter()
-                .map(|h| BinAccumulator::with_size_hints(hinted_capacities(h)))
+                .map(|h| BinAccumulator::with_size_hints_in(hinted_capacities(h), params))
                 .collect()
         })[local]
     }
 }
 
-impl Shard {
+impl<D: DistributionAccumulator> Shard<D> {
     /// Removes and summarizes this shard's slice of `bin`, if any traffic
     /// opened it, feeding the observed cardinalities back as hints
     /// (flows that saw no traffic this bin keep their previous hints).
@@ -153,30 +158,58 @@ impl Shard {
 /// assert_eq!(sealed[0].summaries[1].packets, 1);
 /// ```
 #[derive(Debug, Clone)]
-pub struct ShardedGridBuilder {
+pub struct ShardedGridBuilder<D: DistributionAccumulator = FeatureHistogram> {
     config: StreamConfig,
+    /// Store parameters handed to every shard (and through them to every
+    /// cell) — `()` for the exact tier, the key budget for the sketched.
+    params: D::Params,
     /// Flow → shard id.
     shard_ix: Vec<u32>,
     /// Flow → index within its shard's accumulator rows.
     local_ix: Vec<u32>,
-    shards: Vec<Shard>,
+    shards: Vec<Shard<D>>,
     watermark: u64,
     next_emit: usize,
     /// Late events dropped (counted by the coordinator on both the
     /// single-event and the batch path).
     late_events: u64,
     finalized_bins: u64,
+    /// Per-shard `(rank, index)` sort-key buffers, kept across batches so
+    /// a steady feed stops paying one allocation per shard per batch.
+    scratch: Vec<Vec<(u64, u32)>>,
+    /// Whether [`offer_batch`](Self::offer_packets) keeps the scratch
+    /// buffers' capacity between batches (on by default; the bench turns
+    /// it off to measure what the reuse buys).
+    scratch_reuse: bool,
 }
 
 impl ShardedGridBuilder {
     /// A sharded plane with `shards` shards and no open bins, starting at
     /// bin 0 with watermark 0.
     ///
+    /// Like [`StreamingGridBuilder::new`](crate::StreamingGridBuilder::new),
+    /// this is implemented on the concrete exact-tier type so pre-trait
+    /// call sites keep compiling; other tiers go through
+    /// [`with_params`](Self::with_params) or the
+    /// [`AccumulatorPolicy`](crate::AccumulatorPolicy) facade.
+    ///
     /// # Errors
     ///
     /// The same [`StreamError::BadConfig`] conditions as the serial
     /// builder, plus a zero shard count.
     pub fn new(config: StreamConfig, shards: usize) -> Result<Self, StreamError> {
+        Self::with_params(config, shards, ())
+    }
+}
+
+impl<D: DistributionAccumulator> ShardedGridBuilder<D> {
+    /// [`new`](ShardedGridBuilder::new) with explicit store parameters —
+    /// the tier-generic constructor.
+    pub fn with_params(
+        config: StreamConfig,
+        shards: usize,
+        params: D::Params,
+    ) -> Result<Self, StreamError> {
         if config.n_flows == 0 {
             return Err(StreamError::BadConfig("grid needs at least one flow"));
         }
@@ -205,6 +238,7 @@ impl ShardedGridBuilder {
             local_ix[flow] = owned[s].len() as u32;
             owned[s].push(flow);
         }
+        let scratch = vec![Vec::new(); owned.len()];
         Ok(ShardedGridBuilder {
             config,
             shard_ix,
@@ -215,13 +249,30 @@ impl ShardedGridBuilder {
                     size_hints: vec![[0u32; 4]; flows.len()],
                     flows,
                     open: BTreeMap::new(),
+                    params: params.clone(),
                 })
                 .collect(),
+            params,
             watermark: 0,
             next_emit: 0,
             late_events: 0,
             finalized_bins: 0,
+            scratch,
+            scratch_reuse: true,
         })
+    }
+
+    /// Toggles cross-batch reuse of the per-shard sort-key scratch
+    /// buffers (on by default). Turning it off restores the
+    /// allocate-per-batch behavior; the pipeline bench uses this to report
+    /// the honest before/after ratio of the reuse.
+    pub fn set_scratch_reuse(&mut self, reuse: bool) {
+        self.scratch_reuse = reuse;
+        if !reuse {
+            for keys in &mut self.scratch {
+                *keys = Vec::new();
+            }
+        }
     }
 
     /// Skips ahead so emission starts at `bin`, like the serial builder's
@@ -234,6 +285,11 @@ impl ShardedGridBuilder {
     /// The configuration.
     pub fn config(&self) -> &StreamConfig {
         &self.config
+    }
+
+    /// The store parameters every cell is built from.
+    pub fn params(&self) -> &D::Params {
+        &self.params
     }
 
     /// Number of shards the flow space is partitioned into.
@@ -355,7 +411,13 @@ impl ShardedGridBuilder {
         };
         let next_emit = self.next_emit;
         let widths: Vec<usize> = self.shards.iter().map(|s| s.flows.len()).collect();
-        let mut per_shard: Vec<Vec<(u64, u32)>> = vec![Vec::new(); self.shards.len()];
+        // The per-shard sort-key buffers persist on the builder: clearing
+        // keeps their capacity, so after the first few batches of a steady
+        // feed this path allocates nothing.
+        for keys in &mut self.scratch {
+            keys.clear();
+        }
+        let per_shard = &mut self.scratch;
         let shard_ix = &self.shard_ix;
         let local_ix = &self.local_ix;
         let late = combine::validate_batch(batch, &adm, |idx, flow, bin| {
@@ -366,15 +428,18 @@ impl ShardedGridBuilder {
         // The batch validated end to end: only now does any state change.
         self.late_events += late;
 
-        let run = |shard: &mut Shard, keys: &mut Vec<(u64, u32)>| {
+        let run = |shard: &mut Shard<D>, keys: &mut Vec<(u64, u32)>| {
             let width = shard.flows.len();
             combine::accumulate_grouped(batch, keys, width, next_emit, shard);
         };
 
         let workers = par::workers_for(batch.len().saturating_mul(PACKET_WORK));
         if self.shards.len() == 1 || workers <= 1 {
-            for (shard, keys) in self.shards.iter_mut().zip(&mut per_shard) {
+            for (shard, keys) in self.shards.iter_mut().zip(per_shard.iter_mut()) {
                 run(shard, keys);
+            }
+            if !self.scratch_reuse {
+                self.set_scratch_reuse(false);
             }
             return Ok(());
         }
@@ -382,8 +447,8 @@ impl ShardedGridBuilder {
         // shards than the thread cap allows.
         let groups = par::even_ranges(self.shards.len(), workers.min(par::MAX_THREADS));
         std::thread::scope(|scope| {
-            let mut shards_rest: &mut [Shard] = &mut self.shards;
-            let mut keys_rest: &mut [Vec<(u64, u32)>] = &mut per_shard;
+            let mut shards_rest: &mut [Shard<D>] = &mut self.shards;
+            let mut keys_rest: &mut [Vec<(u64, u32)>] = per_shard;
             for group in &groups {
                 let (mine, tail) = shards_rest.split_at_mut(group.len());
                 shards_rest = tail;
@@ -397,7 +462,22 @@ impl ShardedGridBuilder {
                 });
             }
         });
+        if !self.scratch_reuse {
+            self.set_scratch_reuse(false);
+        }
         Ok(())
+    }
+
+    /// Bytes of heap currently owned by the distribution stores of every
+    /// open cell across all shards — the sharded plane's working-set
+    /// number for the memory-tier benches. Mirrors
+    /// [`StreamingGridBuilder::accumulator_heap_bytes`](crate::StreamingGridBuilder::accumulator_heap_bytes).
+    pub fn accumulator_heap_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.open.values())
+            .flat_map(|row| row.iter().map(BinAccumulator::heap_bytes))
+            .sum()
     }
 
     /// Advances the event-time watermark (monotone) and returns every
@@ -437,7 +517,7 @@ impl ShardedGridBuilder {
         let bins: Vec<usize> = (self.next_emit..upto).collect();
 
         // Per shard, the summarized slice of every sealed bin it opened.
-        let summarize = |shard: &mut Shard| -> Vec<(usize, Vec<BinSummary>)> {
+        let summarize = |shard: &mut Shard<D>| -> Vec<(usize, Vec<BinSummary>)> {
             bins.iter()
                 .filter_map(|&bin| shard.take_summaries(bin).map(|s| (bin, s)))
                 .collect()
@@ -460,7 +540,7 @@ impl ShardedGridBuilder {
             let mut slices: Vec<Vec<(usize, Vec<BinSummary>)>> =
                 vec![Vec::new(); self.shards.len()];
             std::thread::scope(|scope| {
-                let mut shards_rest: &mut [Shard] = &mut self.shards;
+                let mut shards_rest: &mut [Shard<D>] = &mut self.shards;
                 let mut out_rest: &mut [Vec<(usize, Vec<BinSummary>)>] = &mut slices;
                 for group in &groups {
                     let (mine, tail) = shards_rest.split_at_mut(group.len());

@@ -55,6 +55,8 @@
 
 use crate::accum::{BinAccumulator, BinSummary};
 use crate::combine;
+use crate::dist::DistributionAccumulator;
+use crate::hist::FeatureHistogram;
 use entromine_net::flow::FlowRecord;
 use entromine_net::packet::PacketHeader;
 use std::collections::BTreeMap;
@@ -70,19 +72,22 @@ pub(crate) fn hinted_capacities(hint: &[u32; 4]) -> [usize; 4] {
 }
 
 /// The serial builder's open-bin map viewed as a [`combine::CellGrid`]:
-/// fresh rows are pre-sized from the per-flow hints.
-struct SerialGrid<'a> {
-    open: &'a mut BTreeMap<usize, Vec<BinAccumulator>>,
+/// fresh rows are pre-sized from the per-flow hints and built with the
+/// builder's store parameters.
+struct SerialGrid<'a, D: DistributionAccumulator> {
+    open: &'a mut BTreeMap<usize, Vec<BinAccumulator<D>>>,
     hints: &'a [[u32; 4]],
+    params: &'a D::Params,
 }
 
-impl combine::CellGrid for SerialGrid<'_> {
-    fn cell(&mut self, bin: usize, slot: usize) -> &mut BinAccumulator {
+impl<D: DistributionAccumulator> combine::CellGrid<D> for SerialGrid<'_, D> {
+    fn cell(&mut self, bin: usize, slot: usize) -> &mut BinAccumulator<D> {
         let hints = self.hints;
+        let params = self.params;
         &mut self.open.entry(bin).or_insert_with(|| {
             hints
                 .iter()
-                .map(|h| BinAccumulator::with_size_hints(hinted_capacities(h)))
+                .map(|h| BinAccumulator::with_size_hints_in(hinted_capacities(h), params))
                 .collect()
         })[slot]
     }
@@ -231,11 +236,14 @@ impl FinalizedBin {
 /// assert_eq!(sealed[0].summaries[0].packets, 1);
 /// ```
 #[derive(Debug, Clone)]
-pub struct StreamingGridBuilder {
+pub struct StreamingGridBuilder<D: DistributionAccumulator = FeatureHistogram> {
     config: StreamConfig,
+    /// Store parameters applied to every cell this builder opens —
+    /// `()` for the exact tier, the key budget for the sketched tier.
+    params: D::Params,
     /// Accumulator grids for bins not yet sealed, keyed by bin index.
     /// A `BTreeMap` keeps drain order = time order for free.
-    open: BTreeMap<usize, Vec<BinAccumulator>>,
+    open: BTreeMap<usize, Vec<BinAccumulator<D>>>,
     /// Highest event time the caller has vouched for.
     watermark: u64,
     /// The next bin index to emit; every bin below it is sealed.
@@ -252,7 +260,24 @@ pub struct StreamingGridBuilder {
 
 impl StreamingGridBuilder {
     /// A builder with no open bins, starting at bin 0 with watermark 0.
+    ///
+    /// Implemented on the concrete exact-tier type (the default type
+    /// parameter does not apply in expression position), so every
+    /// pre-trait call site — `StreamingGridBuilder::new(cfg)` — keeps
+    /// compiling and monomorphizing to exactly the code it always did.
+    /// Other tiers construct via [`with_params`](Self::with_params) or
+    /// the [`AccumulatorPolicy`](crate::AccumulatorPolicy) facade.
     pub fn new(config: StreamConfig) -> Result<Self, StreamError> {
+        Self::with_params(config, ())
+    }
+}
+
+impl<D: DistributionAccumulator> StreamingGridBuilder<D> {
+    /// A builder with no open bins whose cells are built from `params` —
+    /// the tier-generic constructor behind [`new`].
+    ///
+    /// [`new`]: StreamingGridBuilder::new
+    pub fn with_params(config: StreamConfig, params: D::Params) -> Result<Self, StreamError> {
         if config.n_flows == 0 {
             return Err(StreamError::BadConfig("grid needs at least one flow"));
         }
@@ -267,6 +292,7 @@ impl StreamingGridBuilder {
         let size_hints = vec![[0u32; 4]; config.n_flows];
         Ok(StreamingGridBuilder {
             config,
+            params,
             open: BTreeMap::new(),
             watermark: 0,
             next_emit: 0,
@@ -286,6 +312,11 @@ impl StreamingGridBuilder {
     /// The configuration.
     pub fn config(&self) -> &StreamConfig {
         &self.config
+    }
+
+    /// The store parameters every cell is built from.
+    pub fn params(&self) -> &D::Params {
+        &self.params
     }
 
     /// Current event-time watermark, seconds.
@@ -379,6 +410,7 @@ impl StreamingGridBuilder {
         let mut grid = SerialGrid {
             open: &mut self.open,
             hints: &self.size_hints,
+            params: &self.params,
         };
         if grouped {
             // The common shape — per-bin batches, flow-major replay,
@@ -397,7 +429,7 @@ impl StreamingGridBuilder {
         &mut self,
         flow: usize,
         timestamp: u64,
-    ) -> Result<Option<&mut BinAccumulator>, StreamError> {
+    ) -> Result<Option<&mut BinAccumulator<D>>, StreamError> {
         let n_flows = self.config.n_flows;
         if flow >= n_flows {
             return Err(StreamError::FlowOutOfRange { flow, n_flows });
@@ -411,11 +443,24 @@ impl StreamingGridBuilder {
         if bin >= horizon_end {
             return Err(StreamError::BeyondHorizon { bin, horizon_end });
         }
+        let params = &self.params;
         let row = self
             .open
             .entry(bin)
-            .or_insert_with(|| vec![BinAccumulator::new(); n_flows]);
+            .or_insert_with(|| vec![BinAccumulator::from_params(params); n_flows]);
         Ok(Some(&mut row[flow]))
+    }
+
+    /// Bytes of heap currently owned by the distribution stores of every
+    /// open cell — the working-set number the memory-tier benches record.
+    /// The sketched tier keeps this under
+    /// `4 · open_cells · heap_ceiling(budget)` no matter how many distinct
+    /// keys the feed carries; the exact tier grows with the key space.
+    pub fn accumulator_heap_bytes(&self) -> usize {
+        self.open
+            .values()
+            .flat_map(|row| row.iter().map(BinAccumulator::heap_bytes))
+            .sum()
     }
 
     /// Advances the event-time watermark to `event_time` (monotone: lower

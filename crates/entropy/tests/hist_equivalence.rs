@@ -289,3 +289,124 @@ fn compensated_entropy_matches_textbook_formula() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// The u32::MAX side-counter path
+// ---------------------------------------------------------------------
+//
+// The flat table encodes vacancy as key 0 and stores values as
+// `value + 1`, so `u32::MAX` is the one value the slot encoding cannot
+// represent: it lives in a dedicated side counter. Every observable must
+// treat it like any other key — these tests drive the side counter
+// through insertion, weighted insertion, merges (in both directions and
+// on both sides), multiset equality, and entropy, against the map
+// reference.
+
+#[test]
+fn max_key_insert_and_count_match_reference() {
+    let mut flat = FeatureHistogram::new();
+    let mut map = MapHistogram::new();
+    for h in [&mut flat as &mut dyn FnMutAdd, &mut map] {
+        h.add_pair(u32::MAX, 1);
+        h.add_pair(u32::MAX, 2);
+        h.add_pair(0, 5);
+        h.add_pair(7, 3);
+    }
+    assert_eq!(flat.total(), map.total());
+    assert_eq!(flat.distinct(), 3);
+    assert_eq!(flat.count(u32::MAX), 3);
+    assert_eq!(flat.count(u32::MAX), map.count(u32::MAX));
+    let mut a: Vec<(u32, u64)> = flat.iter().collect();
+    a.sort_unstable();
+    assert_eq!(a, vec![(0, 5), (7, 3), (u32::MAX, 3)]);
+    assert_eq!(flat.counts_sorted(), map.counts_sorted());
+    // A zero-weight offer of MAX is a no-op and must not create an entry.
+    let mut empty = FeatureHistogram::new();
+    empty.add_n(u32::MAX, 0);
+    assert_eq!(empty.distinct(), 0);
+    assert_eq!(empty.count(u32::MAX), 0);
+}
+
+/// Object-safe add helper so the flat and map histograms share one
+/// driving loop above.
+trait FnMutAdd {
+    fn add_pair(&mut self, v: u32, n: u64);
+}
+impl FnMutAdd for FeatureHistogram {
+    fn add_pair(&mut self, v: u32, n: u64) {
+        self.add_n(v, n);
+    }
+}
+impl FnMutAdd for MapHistogram {
+    fn add_pair(&mut self, v: u32, n: u64) {
+        self.add_n(v, n);
+    }
+}
+
+#[test]
+fn max_key_merges_in_both_directions() {
+    // MAX only on the receiving side, only on the incoming side, and on
+    // both — every combination must sum like an ordinary key.
+    let with_max: FeatureHistogram = [u32::MAX, u32::MAX, 3].into_iter().collect();
+    let without: FeatureHistogram = [3u32, 4].into_iter().collect();
+
+    let mut recv = with_max.clone();
+    recv.merge(&without);
+    assert_eq!(recv.count(u32::MAX), 2);
+    assert_eq!(recv.count(3), 2);
+
+    let mut send = without.clone();
+    send.merge(&with_max);
+    assert_eq!(send.count(u32::MAX), 2);
+    assert_eq!(send, recv, "merge is multiset-commutative incl. MAX");
+
+    let mut both = with_max.clone();
+    both.merge(&with_max);
+    assert_eq!(both.count(u32::MAX), 4);
+    assert_eq!(both.total(), with_max.total() * 2);
+
+    // Against the map reference, bit for bit on entropy.
+    let mut map = MapHistogram::new();
+    for (v, n) in recv.iter() {
+        map.add_n(v, n);
+    }
+    assert_eq!(
+        sample_entropy(&recv).to_bits(),
+        entropy_from_sorted_counts(map.total(), &map.counts_sorted()).to_bits()
+    );
+}
+
+#[test]
+fn max_key_participates_in_multiset_equality() {
+    let a: FeatureHistogram = [u32::MAX, 1, u32::MAX].into_iter().collect();
+    let b: FeatureHistogram = [1u32, u32::MAX, u32::MAX].into_iter().collect();
+    assert_eq!(a, b, "order must not matter");
+    let c: FeatureHistogram = [1u32, u32::MAX].into_iter().collect();
+    assert_ne!(a, c, "differing MAX count must break equality");
+    let d: FeatureHistogram = [1u32, 1, u32::MAX].into_iter().collect();
+    assert_ne!(
+        a, d,
+        "swapping MAX mass onto another key must break equality"
+    );
+}
+
+#[test]
+fn max_key_entropy_equals_relabeled_table() {
+    // Entropy is label-blind: {MAX: 4, 9: 2, 0: 1} must produce exactly
+    // the entropy of {5: 4, 9: 2, 0: 1} even though MAX's count lives in
+    // the side counter rather than the columns.
+    let mut with_max = FeatureHistogram::new();
+    with_max.add_n(u32::MAX, 4);
+    with_max.add_n(9, 2);
+    with_max.add_n(0, 1);
+    let mut relabeled = FeatureHistogram::new();
+    relabeled.add_n(5, 4);
+    relabeled.add_n(9, 2);
+    relabeled.add_n(0, 1);
+    assert_eq!(
+        sample_entropy(&with_max).to_bits(),
+        sample_entropy(&relabeled).to_bits()
+    );
+    // top_k sees the side counter too, with the deterministic tie order.
+    assert_eq!(with_max.top_k(2), vec![(u32::MAX, 4), (9, 2)]);
+}
