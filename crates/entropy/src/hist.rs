@@ -173,33 +173,22 @@ impl FeatureHistogram {
             self.max_key_count += n;
             return;
         };
-        // Growing *before* the probe keeps the loop below free of any
-        // fullness check: occupancy never exceeds half the slots, so a
-        // vacant slot is always reachable.
+        // Growing *before* the probe keeps the walk free of any fullness
+        // check: occupancy never exceeds half the slots, so a vacant slot
+        // is always reachable.
         if self.distinct >= self.grow_at {
             self.grow();
         }
-        // Slicing both columns to one length lets the compiler prove
-        // `i & mask` in bounds once, instead of re-checking per probe.
-        let len = self.keys.len();
-        let keys = &mut self.keys[..len];
-        let counts = &mut self.counts[..len];
-        let mask = len - 1;
-        let mut i = fx_hash(value) as usize;
-        loop {
-            let j = i & mask;
-            let k = keys[j];
-            if k == stored {
-                counts[j] += n;
-                return;
-            }
-            if k == 0 {
-                keys[j] = stored;
-                counts[j] = n;
+        // The probe kernel walks several slots per step under SIMD but
+        // returns the exact slot the scalar walk would, so the table
+        // layout is backend-independent.
+        match crate::kernel::probe(&self.keys, fx_hash(value) as usize, stored) {
+            crate::kernel::ProbeResult::Hit(j) => self.counts[j] += n,
+            crate::kernel::ProbeResult::Vacant(j) => {
+                self.keys[j] = stored;
+                self.counts[j] = n;
                 self.distinct += 1;
-                return;
             }
-            i += 1;
         }
     }
 
@@ -229,20 +218,18 @@ impl FeatureHistogram {
         let old_keys = std::mem::replace(&mut self.keys, vec![0; cap]);
         let old_counts = std::mem::replace(&mut self.counts, vec![0; cap]);
         self.grow_at = cap / 2;
-        let mask = cap - 1;
         for (stored, count) in old_keys.into_iter().zip(old_counts) {
             if stored == 0 {
                 continue;
             }
-            let mut i = fx_hash(stored - 1) as usize;
-            loop {
-                let j = i & mask;
-                if self.keys[j] == 0 {
+            // Keys are unique, so the probe can only land on a vacancy —
+            // the same slot the scalar walk picks, on every backend.
+            match crate::kernel::probe(&self.keys, fx_hash(stored - 1) as usize, stored) {
+                crate::kernel::ProbeResult::Vacant(j) => {
                     self.keys[j] = stored;
                     self.counts[j] = count;
-                    break;
                 }
-                i += 1;
+                crate::kernel::ProbeResult::Hit(_) => unreachable!("rehashed keys are unique"),
             }
         }
     }
@@ -280,21 +267,9 @@ impl FeatureHistogram {
         if self.keys.is_empty() {
             return 0;
         }
-        let len = self.keys.len();
-        let keys = &self.keys[..len];
-        let counts = &self.counts[..len];
-        let mask = len - 1;
-        let mut i = fx_hash(value) as usize;
-        loop {
-            let j = i & mask;
-            let k = keys[j];
-            if k == stored {
-                return counts[j];
-            }
-            if k == 0 {
-                return 0;
-            }
-            i += 1;
+        match crate::kernel::probe(&self.keys, fx_hash(value) as usize, stored) {
+            crate::kernel::ProbeResult::Hit(j) => self.counts[j],
+            crate::kernel::ProbeResult::Vacant(_) => 0,
         }
     }
 

@@ -1,0 +1,380 @@
+//! SIMD kernels for this crate's two hottest loops, dispatched through
+//! the shared backend selection in [`entromine_linalg::kernel`] (one
+//! process always runs one backend across the whole pipeline, and the
+//! `ENTROMINE_FORCE_SCALAR` override pins everything at once).
+//!
+//! * [`probe`] — the flat histogram's linear probe walk
+//!   ([`FeatureHistogram`](crate::FeatureHistogram) insert/lookup/rehash
+//!   all funnel through it). The SIMD variants compare eight (AVX2) or
+//!   four (SSE2) key slots per step against the sought key and the
+//!   vacancy marker simultaneously and pick the first match in probe
+//!   order, so the returned slot — and therefore the table's entire
+//!   layout history — is **semantics-exact** against the scalar walk:
+//!   same slot, every time, on every backend.
+//! * [`term_sum`] — the `Σ multiplicity · (c · log2 c)` reduction behind
+//!   every entropy finalization. The AVX2 variant runs four independent
+//!   Neumaier-compensated accumulator lanes (branchless magnitude
+//!   comparison), which breaks the serial dependency chain of the scalar
+//!   reference. Compensated reductions are reassociated across lanes, so
+//!   this kernel is **tolerance-pinned** (each path is within an ulp or
+//!   so of the exact sum; the equivalence suite pins them to 1e-13
+//!   relative), while any *fixed* backend remains a deterministic pure
+//!   function of the group sequence — merge-order independence within a
+//!   run is untouched.
+//!
+//! The `*_on` seams take an explicit [`Backend`] so the equivalence
+//! suite can pit every implementation the host supports against the
+//! scalar reference in one process.
+
+// The unsafe here is confined to the feature-gated SIMD bodies and their
+// call sites, each justified by runtime detection at the dispatcher.
+#![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use crate::metrics::{count_term, neumaier};
+pub use entromine_linalg::kernel::Backend;
+use entromine_linalg::kernel::{active_backend, available_backends};
+
+/// Outcome of a probe walk over the flat table's key column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// The sought key lives in this slot.
+    Hit(usize),
+    /// The key is absent; this is the first vacant slot in probe order
+    /// (where an insert must land).
+    Vacant(usize),
+}
+
+/// Walks the probe sequence from `start`, returning the first slot that
+/// either holds `stored` or is vacant, on the process-wide backend.
+///
+/// `keys` must have power-of-two length and contain at least one vacant
+/// slot (the table grows at half full, so this always holds), and
+/// `stored` must be nonzero (the vacancy marker is reserved).
+#[inline]
+pub fn probe(keys: &[u32], start: usize, stored: u32) -> ProbeResult {
+    probe_on(active_backend(), keys, start, stored)
+}
+
+/// [`probe`] on an explicit backend (the equivalence-test seam).
+#[inline]
+pub fn probe_on(backend: Backend, keys: &[u32], start: usize, stored: u32) -> ProbeResult {
+    debug_assert!(keys.len().is_power_of_two());
+    debug_assert_ne!(stored, 0);
+    debug_assert!(keys.contains(&0), "probe needs a vacant slot");
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Backend::Avx2`/`Sse2` are only ever handed out by
+        // `active_backend`/`available_backends` after runtime detection.
+        Backend::Avx2 => unsafe { avx2_probe(keys, start, stored) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { sse2_probe(keys, start, stored) },
+        _ => scalar_probe(keys, start, stored),
+    }
+}
+
+/// The pinned scalar reference: one slot per step, wrapping through the
+/// power-of-two mask.
+fn scalar_probe(keys: &[u32], start: usize, stored: u32) -> ProbeResult {
+    let mask = keys.len() - 1;
+    let mut i = start;
+    loop {
+        let j = i & mask;
+        let k = keys[j];
+        if k == stored {
+            return ProbeResult::Hit(j);
+        }
+        if k == 0 {
+            return ProbeResult::Vacant(j);
+        }
+        i += 1;
+    }
+}
+
+/// AVX2 probe: eight slots per step. Both comparisons (sought key,
+/// vacancy) come from the same load, and the first set bit of the
+/// combined movemask is the first matching slot in probe order — the
+/// exact slot the scalar walk returns. Groups shorter than eight slots
+/// at the table's edge fall back to the scalar walk for those few slots
+/// before wrapping (capacity is ≥ 32, so the wrap is rare and short).
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2. (Slot accesses are bounds-
+/// guarded; the contract matches [`probe`] otherwise.)
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_probe(keys: &[u32], start: usize, stored: u32) -> ProbeResult {
+    use std::arch::x86_64::*;
+    let len = keys.len();
+    let mask = len - 1;
+    let target = _mm256_set1_epi32(stored as i32);
+    let zero = _mm256_setzero_si256();
+    let mut j = start & mask;
+    loop {
+        if j + 8 <= len {
+            // SAFETY: j + 8 <= len, so all eight lanes are in bounds.
+            let v = unsafe { _mm256_loadu_si256(keys.as_ptr().add(j).cast()) };
+            let eq = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(v, target))) as u32;
+            let vac = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(v, zero))) as u32;
+            let both = eq | vac;
+            if both != 0 {
+                let lane = both.trailing_zeros();
+                let slot = j + lane as usize;
+                return if eq & (1 << lane) != 0 {
+                    ProbeResult::Hit(slot)
+                } else {
+                    ProbeResult::Vacant(slot)
+                };
+            }
+            j += 8;
+            if j == len {
+                j = 0;
+            }
+        } else {
+            while j < len {
+                let k = keys[j];
+                if k == stored {
+                    return ProbeResult::Hit(j);
+                }
+                if k == 0 {
+                    return ProbeResult::Vacant(j);
+                }
+                j += 1;
+            }
+            j = 0;
+        }
+    }
+}
+
+/// SSE2 probe: four slots per step, otherwise identical in structure and
+/// semantics to [`avx2_probe`].
+///
+/// # Safety
+/// Caller must ensure the CPU supports SSE2 (baseline on x86-64).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn sse2_probe(keys: &[u32], start: usize, stored: u32) -> ProbeResult {
+    use std::arch::x86_64::*;
+    let len = keys.len();
+    let mask = len - 1;
+    let target = _mm_set1_epi32(stored as i32);
+    let zero = _mm_setzero_si128();
+    let mut j = start & mask;
+    loop {
+        if j + 4 <= len {
+            // SAFETY: j + 4 <= len, so all four lanes are in bounds.
+            let v = unsafe { _mm_loadu_si128(keys.as_ptr().add(j).cast()) };
+            let eq = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, target))) as u32;
+            let vac = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, zero))) as u32;
+            let both = eq | vac;
+            if both != 0 {
+                let lane = both.trailing_zeros();
+                let slot = j + lane as usize;
+                return if eq & (1 << lane) != 0 {
+                    ProbeResult::Hit(slot)
+                } else {
+                    ProbeResult::Vacant(slot)
+                };
+            }
+            j += 4;
+            if j == len {
+                j = 0;
+            }
+        } else {
+            while j < len {
+                let k = keys[j];
+                if k == stored {
+                    return ProbeResult::Hit(j);
+                }
+                if k == 0 {
+                    return ProbeResult::Vacant(j);
+                }
+                j += 1;
+            }
+            j = 0;
+        }
+    }
+}
+
+/// How many weighted terms are buffered before each SIMD reduction pass.
+const CHUNK: usize = 256;
+
+/// `Σ multiplicity · (c · log2 c)` over `(count, multiplicity)` groups on
+/// the process-wide backend. Singleton counts (`c <= 1`) contribute
+/// exactly zero on every path.
+#[inline]
+pub fn term_sum(groups: impl Iterator<Item = (u64, u64)>) -> f64 {
+    term_sum_on(active_backend(), groups)
+}
+
+/// [`term_sum`] on an explicit backend (the equivalence-test seam).
+/// SSE2 shares the scalar reference — a two-lane compensated reduction
+/// is not worth a third floating-point sequence to pin.
+pub fn term_sum_on(backend: Backend, groups: impl Iterator<Item = (u64, u64)>) -> f64 {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => avx2_term_sum(groups),
+        _ => scalar_term_sum(groups),
+    }
+}
+
+/// The pinned scalar reference: sequential Neumaier compensation in
+/// group order (this is byte-for-byte the reduction the crate used
+/// before the kernel tier existed).
+fn scalar_term_sum(groups: impl Iterator<Item = (u64, u64)>) -> f64 {
+    let mut sum = 0.0;
+    let mut comp = 0.0;
+    for (c, multiplicity) in groups {
+        if c > 1 {
+            neumaier(&mut sum, &mut comp, multiplicity as f64 * count_term(c));
+        }
+    }
+    sum + comp
+}
+
+/// AVX2 `term_sum`: terms are buffered [`CHUNK`] at a time (the term
+/// products themselves are one L1 table load and a multiply — the serial
+/// bottleneck is the compensated add chain), then reduced on four
+/// independent Neumaier lanes. Lane and remainder accumulators are
+/// merged with one final scalar compensation pass.
+#[cfg(target_arch = "x86_64")]
+fn avx2_term_sum(groups: impl Iterator<Item = (u64, u64)>) -> f64 {
+    let mut terms = [0.0f64; CHUNK];
+    let mut sum4 = [0.0f64; 4];
+    let mut comp4 = [0.0f64; 4];
+    // Scalar accumulator for the final sub-lane-width tail.
+    let mut rsum = 0.0;
+    let mut rcomp = 0.0;
+    let mut filled = 0;
+    for (c, multiplicity) in groups {
+        if c <= 1 {
+            continue;
+        }
+        terms[filled] = multiplicity as f64 * count_term(c);
+        filled += 1;
+        if filled == CHUNK {
+            // SAFETY: this path is only dispatched on hosts where AVX2
+            // was runtime-detected.
+            unsafe { avx2_neumaier_lanes(&terms, &mut sum4, &mut comp4) };
+            filled = 0;
+        }
+    }
+    let quads = filled - filled % 4;
+    // SAFETY: as above — AVX2 is runtime-detected on this path.
+    unsafe { avx2_neumaier_lanes(&terms[..quads], &mut sum4, &mut comp4) };
+    for &t in &terms[quads..filled] {
+        neumaier(&mut rsum, &mut rcomp, t);
+    }
+    let mut sum = 0.0;
+    let mut comp = 0.0;
+    for (s, c) in sum4.into_iter().zip(comp4) {
+        neumaier(&mut sum, &mut comp, s);
+        comp += c;
+    }
+    neumaier(&mut sum, &mut comp, rsum);
+    comp += rcomp;
+    sum + comp
+}
+
+/// Folds `terms` (length a multiple of four) into four running Neumaier
+/// lanes. The compensation branch is computed branchlessly: the operands
+/// are ordered by magnitude with a compare-and-blend, after which the
+/// error term is always `(big − total) + small`.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2, and `terms.len() % 4 == 0`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_neumaier_lanes(terms: &[f64], sum4: &mut [f64; 4], comp4: &mut [f64; 4]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(terms.len() % 4, 0);
+    // SAFETY: the `[f64; 4]` accumulators are exactly one vector wide,
+    // and every load below stays within `terms` (length a multiple of
+    // four by the caller's contract).
+    unsafe {
+        let mut s = _mm256_loadu_pd(sum4.as_ptr());
+        let mut comp = _mm256_loadu_pd(comp4.as_ptr());
+        let abs_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fff_ffff_ffff_ffff));
+        for quad in terms.chunks_exact(4) {
+            let t = _mm256_loadu_pd(quad.as_ptr());
+            let total = _mm256_add_pd(s, t);
+            let swap =
+                _mm256_cmp_pd::<_CMP_LT_OQ>(_mm256_and_pd(s, abs_mask), _mm256_and_pd(t, abs_mask));
+            let big = _mm256_blendv_pd(s, t, swap);
+            let small = _mm256_blendv_pd(t, s, swap);
+            let err = _mm256_add_pd(_mm256_sub_pd(big, total), small);
+            comp = _mm256_add_pd(comp, err);
+            s = total;
+        }
+        _mm256_storeu_pd(sum4.as_mut_ptr(), s);
+        _mm256_storeu_pd(comp4.as_mut_ptr(), comp);
+    }
+}
+
+/// The backends this host can run (re-exported seam for the equivalence
+/// suite, so entropy tests need no direct linalg dev-dependency).
+pub fn probe_backends() -> Vec<Backend> {
+    available_backends()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny table with a known layout: capacity 32, keys 5 and 9
+    /// placed by the scalar walk.
+    fn tiny_table() -> Vec<u32> {
+        let mut keys = vec![0u32; 32];
+        for stored in [5u32, 9, 37] {
+            let start = (stored as u64).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95) as usize;
+            match scalar_probe(&keys, start, stored) {
+                ProbeResult::Vacant(j) => keys[j] = stored,
+                ProbeResult::Hit(_) => unreachable!("fresh key"),
+            }
+        }
+        keys
+    }
+
+    #[test]
+    fn probe_backends_agree_on_slots() {
+        let keys = tiny_table();
+        for backend in probe_backends() {
+            for stored in [5u32, 9, 37, 11, 1] {
+                let start = (stored as u64).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95) as usize;
+                assert_eq!(
+                    probe_on(backend, &keys, start, stored),
+                    scalar_probe(&keys, start, stored),
+                    "backend {backend:?}, key {stored}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_wraps_at_table_end() {
+        // Force a cluster at the very end of the table so the walk must
+        // wrap to slot 0.
+        let mut keys = vec![0u32; 32];
+        keys[29] = 3;
+        keys[30] = 7;
+        keys[31] = 11;
+        keys[0] = 13;
+        for backend in probe_backends() {
+            assert_eq!(probe_on(backend, &keys, 29, 11), ProbeResult::Hit(31));
+            assert_eq!(probe_on(backend, &keys, 29, 13), ProbeResult::Hit(0));
+            // Absent key: first vacancy past the wrap.
+            assert_eq!(probe_on(backend, &keys, 29, 99), ProbeResult::Vacant(1));
+        }
+    }
+
+    #[test]
+    fn term_sum_matches_scalar_small() {
+        let groups: Vec<(u64, u64)> = vec![(1, 100), (2, 3), (7, 1), (1024, 2), (5000, 1)];
+        let reference = scalar_term_sum(groups.iter().copied());
+        for backend in probe_backends() {
+            let got = term_sum_on(backend, groups.iter().copied());
+            let rel = (got - reference).abs() / reference.abs().max(1.0);
+            assert!(rel <= 1e-13, "backend {backend:?}: {got} vs {reference}");
+        }
+    }
+}

@@ -47,14 +47,23 @@
 //! * [`PrefixRollup`] — hierarchical src/dst aggregation trees over any
 //!   store, so sketched cells can answer coarse-prefix diagnosis queries
 //!   with Horvitz–Thompson-scaled masses.
+//! * [`kernel`] — runtime-dispatched SIMD variants of the two hottest
+//!   loops (the flat table's linear probe, semantics-exact; the entropy
+//!   finalization's compensated `Σ n·log2 n` reduction,
+//!   tolerance-pinned), sharing backend selection — and the
+//!   `ENTROMINE_FORCE_SCALAR` override — with `entromine_linalg::kernel`.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD kernel tier (`kernel`) opts back
+// in at module scope for its feature-gated `std::arch` bodies; everything
+// else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod accum;
 mod combine;
 mod dist;
 mod hist;
+pub mod kernel;
 mod metrics;
 mod policy;
 pub mod rollup;

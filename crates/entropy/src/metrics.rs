@@ -67,7 +67,7 @@ pub(crate) fn count_term(n: u64) -> f64 {
 /// One step of Neumaier's compensated summation: adds `term` into
 /// `(sum, comp)`, capturing the low-order bits ordinary addition drops.
 #[inline]
-fn neumaier(sum: &mut f64, comp: &mut f64, term: f64) {
+pub(crate) fn neumaier(sum: &mut f64, comp: &mut f64, term: f64) {
     let t = *sum + term;
     if sum.abs() >= term.abs() {
         *comp += (*sum - t) + term;
@@ -83,18 +83,17 @@ fn neumaier(sum: &mut f64, comp: &mut f64, term: f64) {
 /// any entropy path: the exact tier closes it with `log2(S) − T/S`, and
 /// the sketched tier (`crate::sketch`) scales it by the inverse sampling
 /// rate before the same closing step, so the two tiers share one FP
-/// sequence wherever their inputs coincide.
+/// sequence wherever their inputs coincide. Singletons contribute
+/// exactly zero (1 · log2 1) on every path: a scan's sea of once-seen
+/// ports costs nothing and loses nothing.
+///
+/// The reduction itself is [`crate::kernel::term_sum`]: a multi-lane
+/// compensated kernel on AVX2 hosts, the sequential scalar reference
+/// elsewhere (and under `ENTROMINE_FORCE_SCALAR`). Both tiers call this
+/// one dispatched function, so within a process the "shared FP sequence"
+/// property above is preserved whichever backend is latched.
 pub(crate) fn weighted_term_sum(groups: impl Iterator<Item = (u64, u64)>) -> f64 {
-    let mut sum = 0.0;
-    let mut comp = 0.0;
-    for (c, multiplicity) in groups {
-        // Singletons contribute exactly zero (1 · log2 1): a scan's sea
-        // of once-seen ports costs nothing and loses nothing.
-        if c > 1 {
-            neumaier(&mut sum, &mut comp, multiplicity as f64 * count_term(c));
-        }
-    }
-    sum + comp
+    crate::kernel::term_sum(groups)
 }
 
 /// The canonical entropy reduction: [`weighted_term_sum`] over ascending

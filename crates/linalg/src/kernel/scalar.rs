@@ -1,0 +1,37 @@
+//! Pinned scalar reference implementations.
+//!
+//! Every SIMD variant in the sibling modules is pinned — bitwise or by
+//! tolerance — against these. Keep them boring: any "optimization" here
+//! changes the reference the whole tier is certified against.
+
+/// `acc[i] += x * ys[i]`, one multiply and one add per element, in index
+/// order.
+#[inline]
+pub fn axpy(acc: &mut [f64], x: f64, ys: &[f64]) {
+    for (slot, &y) in acc.iter_mut().zip(ys) {
+        *slot += x * y;
+    }
+}
+
+/// Dot product over four independent accumulator lanes.
+///
+/// This is the exact arithmetic `matrix::dot4` has always used: lane `i`
+/// sums the stride-4 subsequence starting at `i`, the tail is summed
+/// left-to-right, and the reduction is `(l0 + l1) + (l2 + l3) + tail`.
+#[inline]
+pub fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for k in 0..chunks {
+        let ac = &a[4 * k..4 * k + 4];
+        let bc = &b[4 * k..4 * k + 4];
+        for i in 0..4 {
+            lanes[i] += ac[i] * bc[i];
+        }
+    }
+    let mut tail = 0.0f64;
+    for i in 4 * chunks..a.len() {
+        tail += a[i] * b[i];
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}

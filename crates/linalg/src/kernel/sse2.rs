@@ -1,0 +1,72 @@
+//! SSE2 (128-bit) kernel variants, bitwise-pinned to [`super::scalar`].
+//!
+//! Two 128-bit registers stand in for the scalar reference's four
+//! accumulator lanes. As in the AVX2 module, multiply and add stay
+//! separate instructions so rounding matches the scalar references.
+#![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::arch::x86_64::*;
+
+/// `acc[i] += x * ys[i]`; bitwise identical to the scalar reference.
+///
+/// # Safety
+/// Caller must ensure the CPU supports SSE2 (runtime-detected by the
+/// dispatcher) and that `acc.len() == ys.len()`.
+#[target_feature(enable = "sse2")]
+pub unsafe fn axpy(acc: &mut [f64], x: f64, ys: &[f64]) {
+    let n = acc.len();
+    let xv = _mm_set1_pd(x);
+    let chunks = n / 2;
+    for k in 0..chunks {
+        // SAFETY: 2*k + 2 <= n; unaligned load/store intrinsics carry no
+        // alignment requirement for f64 slices.
+        unsafe {
+            let a = _mm_loadu_pd(acc.as_ptr().add(2 * k));
+            let y = _mm_loadu_pd(ys.as_ptr().add(2 * k));
+            let r = _mm_add_pd(a, _mm_mul_pd(xv, y));
+            _mm_storeu_pd(acc.as_mut_ptr().add(2 * k), r);
+        }
+    }
+    if n % 2 == 1 {
+        acc[n - 1] += x * ys[n - 1];
+    }
+}
+
+/// Four-lane dot product holding lanes `(0,1)` and `(2,3)` in two
+/// registers; bitwise identical to [`super::scalar::dot4`].
+///
+/// # Safety
+/// Caller must ensure the CPU supports SSE2 (runtime-detected by the
+/// dispatcher) and that `a.len() == b.len()`.
+#[target_feature(enable = "sse2")]
+pub unsafe fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    let chunks = n / 4;
+    let mut acc01 = _mm_setzero_pd();
+    let mut acc23 = _mm_setzero_pd();
+    for k in 0..chunks {
+        // SAFETY: 4*k + 4 <= n; unaligned loads carry no alignment
+        // requirement.
+        unsafe {
+            let a01 = _mm_loadu_pd(a.as_ptr().add(4 * k));
+            let b01 = _mm_loadu_pd(b.as_ptr().add(4 * k));
+            acc01 = _mm_add_pd(acc01, _mm_mul_pd(a01, b01));
+            let a23 = _mm_loadu_pd(a.as_ptr().add(4 * k + 2));
+            let b23 = _mm_loadu_pd(b.as_ptr().add(4 * k + 2));
+            acc23 = _mm_add_pd(acc23, _mm_mul_pd(a23, b23));
+        }
+    }
+    let mut lo = [0.0f64; 2];
+    let mut hi = [0.0f64; 2];
+    // SAFETY: each store writes exactly 16 bytes into a 2-element array.
+    unsafe {
+        _mm_storeu_pd(lo.as_mut_ptr(), acc01);
+        _mm_storeu_pd(hi.as_mut_ptr(), acc23);
+    }
+    let mut tail = 0.0f64;
+    for i in 4 * chunks..n {
+        tail += a[i] * b[i];
+    }
+    (lo[0] + lo[1]) + (hi[0] + hi[1]) + tail
+}

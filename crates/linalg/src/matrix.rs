@@ -126,6 +126,13 @@ impl Mat {
         &self.data
     }
 
+    /// Mutably borrows the underlying row-major buffer. Row `i` occupies
+    /// `[i*cols, (i+1)*cols)`; `chunks_exact_mut(cols)` yields the rows —
+    /// the seam kernels use to update several rows in one pass.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consumes the matrix and returns the row-major buffer.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
@@ -345,10 +352,8 @@ impl Mat {
                 if ci == 0.0 {
                     continue;
                 }
-                let cov_row = &mut cov.data[i * n..(i + 1) * n];
-                for j in i..n {
-                    cov_row[j] += ci * centered[j];
-                }
+                let cov_row = &mut cov.data[i * n + i..(i + 1) * n];
+                crate::kernel::axpy(cov_row, ci, &centered[i..]);
             }
         }
         let denom = (self.rows - 1) as f64;
@@ -568,9 +573,7 @@ fn cov_accumulate(centered: &Mat, range: std::ops::Range<usize>, out: &mut [f64]
                 if ci == 0.0 {
                     continue;
                 }
-                for (o, &cj) in out_row.iter_mut().zip(&row[i..]) {
-                    *o += ci * cj;
-                }
+                crate::kernel::axpy(out_row, ci, &row[i..]);
             }
         }
         panel_start = panel_end;
@@ -579,6 +582,12 @@ fn cov_accumulate(centered: &Mat, range: std::ops::Range<usize>, out: &mut [f64]
 
 /// Fills rows `range` of the upper triangle of `x · xᵀ` into `out`
 /// (row-major, `range.len() × rows`, rebased to `range.start`).
+///
+/// Entries are four-lane [`dot4`] products (dispatched through the kernel
+/// tier), not the strict left-to-right [`dot`]: the Gram path is pinned by
+/// tolerance against the explicit product and against the covariance fit,
+/// never bitwise against a serial-reduction reference, and the strict
+/// reduction's serial dependency chain is exactly what makes it slow.
 fn gram_accumulate(x: &Mat, range: std::ops::Range<usize>, out: &mut [f64]) {
     let t = x.rows();
     let base = range.start;
@@ -586,7 +595,7 @@ fn gram_accumulate(x: &Mat, range: std::ops::Range<usize>, out: &mut [f64]) {
         let row_a = x.row(a);
         let out_row = &mut out[(a - base) * t..(a - base + 1) * t];
         for (b, slot) in out_row.iter_mut().enumerate().skip(a) {
-            *slot = dot(row_a, x.row(b));
+            *slot = dot4(row_a, x.row(b));
         }
     }
 }
@@ -598,32 +607,22 @@ pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// Dot product accumulated into four independent lanes.
+/// Dot product accumulated into four independent lanes, dispatched
+/// through the kernel tier ([`crate::kernel::dot4`]).
 ///
 /// The strict left-to-right reduction of [`dot`] cannot be vectorized
 /// without reassociating floating-point adds, so it runs scalar. The
-/// spectral kernels (`trace_cubed`, the hardened `top_k_eigen` matvec)
-/// are throughput-bound on exactly this reduction, and none of them needs
-/// bitwise agreement with a serial reference — only determinism for a
-/// fixed input, which the fixed lane structure provides at any thread
-/// count. Four accumulators let LLVM emit SIMD FMAs.
+/// spectral kernels (`trace_cubed`, the hardened `top_k_eigen` matvec,
+/// the Gram panels) are throughput-bound on exactly this reduction, and
+/// none of them needs bitwise agreement with a serial reference — only
+/// determinism for a fixed input, which the fixed lane structure provides
+/// at any thread count *and under every backend*: the kernel contract
+/// pins the lane sequence and reduction order bitwise across scalar,
+/// SSE2, and AVX2.
 #[inline]
 pub(crate) fn dot4(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    let mut lanes = [0.0f64; 4];
-    let mut chunks_a = a.chunks_exact(4);
-    let mut chunks_b = b.chunks_exact(4);
-    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
-        lanes[0] += ca[0] * cb[0];
-        lanes[1] += ca[1] * cb[1];
-        lanes[2] += ca[2] * cb[2];
-        lanes[3] += ca[3] * cb[3];
-    }
-    let mut tail = 0.0;
-    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        tail += x * y;
-    }
-    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+    crate::kernel::dot4(a, b)
 }
 
 /// Euclidean norm of a slice.

@@ -155,6 +155,37 @@ fn h0_fallback_branch_agrees_between_engines() {
     }
 }
 
+/// The blocked tridiagonal eigensolver (`sym_eigen`) against the retained
+/// QL reference (`sym_eigen_ql`), pinned where it matters operationally:
+/// the Jackson–Mudholkar detection threshold consumes the residual
+/// spectrum, so if the two solvers' spectra induce the same `δ²_α` the
+/// eigensolver swap cannot move an alarm. Sizes are chosen so the blocked
+/// fast path actually engages (n ≥ 32).
+#[test]
+fn blocked_and_ql_spectra_give_same_thresholds() {
+    use entromine_subspace::q_statistic_threshold;
+    for (n, seed) in [(36usize, 11u64), (48, 12), (64, 13)] {
+        let x = traffic_like(3 * n, n, 0.2, seed);
+        // A PSD matrix with traffic-like spectral decay.
+        let a = x.transpose().matmul(&x).unwrap();
+        let fast = entromine_linalg::sym_eigen(&a).unwrap();
+        let ql = entromine_linalg::sym_eigen_ql(&a).unwrap();
+        let trace: f64 = ql.values.iter().sum();
+        for m in [1usize, 3, 6] {
+            for alpha in [0.95, 0.999] {
+                let oracle = q_statistic_threshold(&ql.values, m, alpha).unwrap();
+                let got = q_statistic_threshold(&fast.values, m, alpha).unwrap();
+                assert_threshold_close(
+                    oracle,
+                    got,
+                    trace,
+                    &format!("sym_eigen vs ql threshold, n={n} m={m} alpha={alpha}"),
+                );
+            }
+        }
+    }
+}
+
 /// Clustered-eigenvalue stress for the hardened `top_k_eigen`: a spectrum
 /// with exactly repeated leading values (the worst case for per-pair
 /// convergence tests) must still lock, stay orthonormal, and reproduce
