@@ -81,7 +81,7 @@ pub use pipeline::{
 };
 pub use report::{cluster_rows, label_breakdown, match_truth, ClusterRow, LabelRow, MatchOutcome};
 pub use stream::StreamingDiagnoser;
-pub use window::TrainingWindow;
+pub use window::{RefitTrace, RoundTrace, TrainingWindow};
 
 /// Re-exports of the [`DiagnoserConfig`] knob types, so pipeline callers
 /// need not reach into the subspace crate.

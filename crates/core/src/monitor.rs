@@ -50,7 +50,7 @@
 
 use crate::pipeline::{DiagnoserConfig, Diagnosis, FittedDiagnoser};
 use crate::stream::{score_rows_against, thresholds_for};
-use crate::window::TrainingWindow;
+use crate::window::{RefitTrace, TrainingWindow};
 use crate::DiagnosisError;
 use entromine_entropy::FinalizedBin;
 use entromine_subspace::EmpiricalSharpness;
@@ -164,6 +164,13 @@ pub struct RefitReport {
     /// quantile) — the structured "too few training bins for this alpha"
     /// signal.
     pub warnings: Vec<(&'static str, EmpiricalSharpness)>,
+    /// Per-round warm-start / downdate / convergence trace of the fit
+    /// (empty when the fit failed before producing a model).
+    pub trace: RefitTrace,
+    /// Wall-clock of the whole fit attempt, milliseconds (covers failed
+    /// attempts too). Observational only — never feeds back into the
+    /// models.
+    pub fit_ms: f64,
 }
 
 /// The monitor's judgement of one observed bin.
@@ -462,12 +469,17 @@ impl Monitor {
         self.state = MonitorState::Refitting;
         let window_bins = self.window.len();
         let alpha = self.config.diagnoser.alpha;
-        let report = match self
+        let fit_start = std::time::Instant::now();
+        // The serving model seeds the refit's eigensolves — on the small
+        // drift a refit cadence implies, the warm basis converges in a
+        // couple of Rayleigh–Ritz cycles instead of a cold iteration.
+        let result = self
             .window
-            .fit(&self.config.diagnoser)
-            .and_then(|fitted| Ok((thresholds_for(&fitted, alpha)?, fitted)))
-        {
-            Ok((thresholds, fitted)) => {
+            .fit_warm(&self.config.diagnoser, self.fitted.as_ref())
+            .and_then(|(fitted, trace)| Ok((thresholds_for(&fitted, alpha)?, fitted, trace)));
+        let fit_ms = fit_start.elapsed().as_secs_f64() * 1e3;
+        let report = match result {
+            Ok((thresholds, fitted, trace)) => {
                 let warnings = fitted.sharpness_warnings(alpha);
                 self.fitted = Some(fitted);
                 self.thresholds = thresholds;
@@ -482,6 +494,8 @@ impl Monitor {
                     window_bins,
                     outcome: RefitOutcome::Swapped,
                     warnings,
+                    trace,
+                    fit_ms,
                 }
             }
             Err(e) => {
@@ -495,6 +509,8 @@ impl Monitor {
                     window_bins,
                     outcome: RefitOutcome::Failed(e),
                     warnings: Vec::new(),
+                    trace: RefitTrace::default(),
+                    fit_ms,
                 }
             }
         };

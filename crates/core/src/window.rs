@@ -31,6 +31,76 @@ use crate::DiagnosisError;
 use entromine_linalg::MomentAccumulator;
 use entromine_subspace::{MultiwayFitter, SubspaceModel};
 use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Diagnostics for one fit round of [`TrainingWindow::fit_warm`]: how the
+/// round's moments were produced, whether the eigensolves were seeded
+/// from a previous basis, and what they cost. Purely observational — the
+/// fitted models are a function of the push history and the warm seed
+/// alone, never of these measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundTrace {
+    /// Rows the round trained on.
+    pub training_bins: usize,
+    /// Rows the previous round's suspicion gate excluded (0 in round 0).
+    pub flagged_bins: usize,
+    /// Whether any of the round's three eigensolves was warm-started
+    /// from a previous model's basis (and actually ran the partial
+    /// engine — dense fallbacks report cold).
+    pub warm_start: bool,
+    /// Whether the round's moments came from downdating the flagged rows
+    /// out of the round-0 merge (`false`: re-accumulated the clean rows).
+    pub downdated: bool,
+    /// Total Rayleigh–Ritz cycles across the round's three eigensolves
+    /// (0 when every model took a dense engine).
+    pub cycles: usize,
+    /// Wall-clock of the round, milliseconds. Timing only — it never
+    /// feeds back into the fit.
+    pub ms: f64,
+}
+
+/// Per-round trace of one [`TrainingWindow::fit_warm`] call, surfaced to
+/// operators through [`RefitReport`](crate::RefitReport).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RefitTrace {
+    /// One entry per executed fit round, in order (round 0 first).
+    pub rounds: Vec<RoundTrace>,
+}
+
+impl RefitTrace {
+    /// Total wall-clock across all rounds, milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.rounds.iter().map(|r| r.ms).sum()
+    }
+
+    /// Whether any round's eigensolve ran warm-started.
+    pub fn any_warm(&self) -> bool {
+        self.rounds.iter().any(|r| r.warm_start)
+    }
+
+    fn record(
+        &mut self,
+        fitted: &FittedDiagnoser,
+        training_bins: usize,
+        flagged_bins: usize,
+        downdated: bool,
+        start: Instant,
+    ) {
+        let diags = [
+            fitted.bytes_model().pca().diagnostics(),
+            fitted.packets_model().pca().diagnostics(),
+            fitted.entropy_model().inner().pca().diagnostics(),
+        ];
+        self.rounds.push(RoundTrace {
+            training_bins,
+            flagged_bins,
+            warm_start: diags.iter().any(|d| d.warm_start),
+            downdated,
+            cycles: diags.iter().map(|d| d.cycles).sum(),
+            ms: start.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+}
 
 /// One training bin's retained measurement rows.
 #[derive(Debug, Clone)]
@@ -207,6 +277,34 @@ impl TrainingWindow {
     /// `BadConfig` on an invalid `alpha`; `BadDataset` with fewer than 4
     /// bins; any fit error from the subspace layer.
     pub fn fit(&self, config: &DiagnoserConfig) -> Result<FittedDiagnoser, DiagnosisError> {
+        self.fit_warm(config, None).map(|(fitted, _)| fitted)
+    }
+
+    /// [`fit`](Self::fit) with the warm refit engine engaged: when a
+    /// `serving` model is supplied, round 0 seeds its three eigensolves
+    /// from that model's basis, each trimming round seeds from the
+    /// previous round's basis, and trimmed-round moments are produced by
+    /// *downdating* the flagged rows out of the round-0 Chan merge
+    /// (`O(flagged · p²)`) instead of re-accumulating every clean row
+    /// (`O(bins · p²)`). When the downdate guard refuses (too large a
+    /// removed fraction, or catastrophic cancellation on a variance), the
+    /// round silently falls back to re-accumulation.
+    ///
+    /// With `serving = None` this is exactly the cold [`fit`](Self::fit)
+    /// path — the executable spec the warm engine is pinned against.
+    /// Either way the result is a deterministic pure function of the push
+    /// history, the config, and the warm seed: an offline replay that
+    /// pushes the same bins and supplies the same serving model gets
+    /// bit-identical models.
+    ///
+    /// # Errors
+    ///
+    /// As [`fit`](Self::fit).
+    pub fn fit_warm(
+        &self,
+        config: &DiagnoserConfig,
+        serving: Option<&FittedDiagnoser>,
+    ) -> Result<(FittedDiagnoser, RefitTrace), DiagnosisError> {
         config.validate_alpha()?;
         let n_bins = self.len();
         if n_bins < 4 {
@@ -215,6 +313,8 @@ impl TrainingWindow {
             ));
         }
         let rows: Vec<&WindowRow> = self.chunks.iter().flat_map(|c| c.rows.iter()).collect();
+        let mut trace = RefitTrace::default();
+        let round_start = Instant::now();
 
         // Round 0: Chan-merge the chunk moments — the cheap path that
         // makes routine refits O(chunks · p²) instead of O(bins · p²).
@@ -228,19 +328,29 @@ impl TrainingWindow {
             packets.merge(&c.packets).map_err(subspace_err)?;
             entropy.merge(&c.entropy)?;
         }
-        let mut fitted = self.fit_models(config, &bytes, &packets, entropy, &rows)?;
+        // The warm engine keeps the round-0 merge so trimming rounds can
+        // downdate flagged rows from it; the cold path never needs it.
+        let merged = serving
+            .is_some()
+            .then(|| (bytes.clone(), packets.clone(), entropy.clone()));
+        let mut fitted = self.fit_models(config, &bytes, &packets, entropy, &rows, serving)?;
+        trace.record(&fitted, rows.len(), 0, false, round_start);
 
         for _ in 0..config.refit_rounds {
+            let round_start = Instant::now();
             // Same trimming statistic as the batch pipeline: SPE or
             // Hotelling's T² on any detector.
             let gate = fitted.suspicion_gate(config.alpha)?;
             let mut clean: Vec<&WindowRow> = Vec::with_capacity(rows.len());
+            let mut flagged_rows: Vec<&WindowRow> = Vec::new();
             for row in &rows {
-                if !fitted.row_suspicious(&gate, &row.bytes, &row.packets, &row.entropy_raw)? {
+                if fitted.row_suspicious(&gate, &row.bytes, &row.packets, &row.entropy_raw)? {
+                    flagged_rows.push(row);
+                } else {
                     clean.push(row);
                 }
             }
-            let flagged = rows.len() - clean.len();
+            let flagged = flagged_rows.len();
             if flagged == 0 {
                 break;
             }
@@ -251,24 +361,58 @@ impl TrainingWindow {
             if clean.len() < 4 {
                 break;
             }
-            // Trimmed rounds re-accumulate the surviving rows — the
-            // subset has no precomputed chunk moments.
-            let p = self.n_flows;
-            let mut bytes = MomentAccumulator::new(p);
-            let mut packets = MomentAccumulator::new(p);
-            let mut entropy = MultiwayFitter::new(p, entromine_subspace::DimSelection::Fixed(1))?;
-            for row in &clean {
-                bytes.push(&row.bytes).map_err(subspace_err)?;
-                packets.push(&row.packets).map_err(subspace_err)?;
-                entropy.push_row(&row.entropy_raw)?;
+            // Trimmed rounds have no precomputed chunk moments. Warm
+            // engine: remove the flagged rows from the round-0 merge via
+            // Chan downdating (all three accumulators or none — a refusal
+            // from any guard falls back wholesale). Cold engine, or a
+            // guarded refusal: re-accumulate the surviving rows.
+            let mut downdate = None;
+            if let Some((bytes0, packets0, entropy0)) = &merged {
+                let (rem_bytes, rem_packets, rem_entropy) = self.accumulate_rows(&flagged_rows)?;
+                let mut bytes = bytes0.clone();
+                let mut packets = packets0.clone();
+                let mut entropy = entropy0.clone();
+                let accepted = bytes.try_downdate(&rem_bytes).map_err(subspace_err)?
+                    && packets.try_downdate(&rem_packets).map_err(subspace_err)?
+                    && entropy.try_downdate(&rem_entropy)?;
+                if accepted {
+                    downdate = Some((bytes, packets, entropy));
+                }
             }
-            fitted = self.fit_models(config, &bytes, &packets, entropy, &clean)?;
+            let downdated = downdate.is_some();
+            let (bytes, packets, entropy) = match downdate {
+                Some(moments) => moments,
+                None => self.accumulate_rows(&clean)?,
+            };
+            // Each trimming round seeds from the round that flagged its
+            // exclusions — the basis drifts by at most those few rows.
+            let warm = serving.is_some().then_some(&fitted);
+            fitted = self.fit_models(config, &bytes, &packets, entropy, &clean, warm)?;
+            trace.record(&fitted, clean.len(), flagged, downdated, round_start);
         }
-        Ok(fitted)
+        Ok((fitted, trace))
     }
 
-    /// One fit round: models from moments, calibrated on the round's
-    /// training rows.
+    /// Fresh moment accumulators over exactly `rows`.
+    fn accumulate_rows(
+        &self,
+        rows: &[&WindowRow],
+    ) -> Result<(MomentAccumulator, MomentAccumulator, MultiwayFitter), DiagnosisError> {
+        let p = self.n_flows;
+        let mut bytes = MomentAccumulator::new(p);
+        let mut packets = MomentAccumulator::new(p);
+        let mut entropy = MultiwayFitter::new(p, entromine_subspace::DimSelection::Fixed(1))?;
+        for row in rows {
+            bytes.push(&row.bytes).map_err(subspace_err)?;
+            packets.push(&row.packets).map_err(subspace_err)?;
+            entropy.push_row(&row.entropy_raw)?;
+        }
+        Ok((bytes, packets, entropy))
+    }
+
+    /// One fit round: models from moments (eigensolves seeded from
+    /// `warm`'s bases when supplied), calibrated on the round's training
+    /// rows.
     fn fit_models(
         &self,
         config: &DiagnoserConfig,
@@ -276,17 +420,26 @@ impl TrainingWindow {
         packets: &MomentAccumulator,
         entropy: MultiwayFitter,
         training_rows: &[&WindowRow],
+        warm: Option<&FittedDiagnoser>,
     ) -> Result<FittedDiagnoser, DiagnosisError> {
         let p = self.n_flows;
         let strategy = config.strategy;
-        let mut bytes_model =
-            SubspaceModel::fit_from_moments_with(bytes, config.capped_dim(p), strategy)?;
-        let mut packets_model =
-            SubspaceModel::fit_from_moments_with(packets, config.capped_dim(p), strategy)?;
+        let mut bytes_model = SubspaceModel::fit_from_moments_warm(
+            bytes,
+            config.capped_dim(p),
+            strategy,
+            warm.map(|f| f.bytes_model()),
+        )?;
+        let mut packets_model = SubspaceModel::fit_from_moments_warm(
+            packets,
+            config.capped_dim(p),
+            strategy,
+            warm.map(|f| f.packets_model()),
+        )?;
         let mut entropy_model = entropy
             .with_dim(config.capped_dim(4 * p))
             .with_strategy(strategy)
-            .finish()?;
+            .finish_warm(warm.map(|f| f.entropy_model()))?;
         // Streamed fits are born uncalibrated; the retained rows supply
         // the training-SPE order statistics (in the same units each model
         // scores in), matching the batch fit's auto-calibration.

@@ -8,10 +8,13 @@
 //! 1. **Validate** every event against the grid (atomic batch error
 //!    semantics; late events dropped and counted), assigning each
 //!    survivor a *cell rank* — `(bin − next_emit) · stride + slot` — that
-//!    totally orders cells by (bin, flow slot). Validation also detects
-//!    whether the batch already arrives in rank order, which is how
-//!    per-bin batches, flow-major replays, and NetFlow exports naturally
-//!    do; its hot loop is comparison-only (no division, no allocation).
+//!    totally orders cells by (bin, flow slot). Validation also probes
+//!    the batch's [`BatchShape`]: whether it already arrives in rank
+//!    order (how per-bin batches, flow-major replays, and NetFlow
+//!    exports naturally do) and how many merged runs it would collapse
+//!    to; its hot loop is comparison-only (no division, no allocation).
+//!    Batches with too few packets per run for combining to pay off
+//!    bail out to [`accumulate_per_event`], skipping steps 2–3.
 //! 2. **Sort and group.** Grouped batches take the in-order walk — one
 //!    sequential pass, no index array, no sort. Everything else gets a
 //!    `(rank, index)` key array and one `sort_unstable` on plain
@@ -193,37 +196,85 @@ pub(crate) fn validate_batch<E: IngestEvent>(
     Ok(late)
 }
 
+/// Packets-per-run below which the run-merge machinery (per-event tuple
+/// comparisons, run bookkeeping, and — on ungrouped batches — the rank
+/// sort) costs more than its `add_n` batching saves. On a feed with no
+/// duplicate `(cell, tuple)` adjacency the combining path measured 0.97×
+/// against plain per-event accumulation, while at ~8 packets per run it
+/// measured ~2×; the crossover sits just above 1, and this threshold
+/// keeps a safety margin so [`BatchShape::combining_profitable`] only
+/// engages combining where it genuinely wins.
+pub const COMBINE_MIN_RATIO: f64 = 1.25;
+
+/// What [`validate_grouped`] learned about a batch while validating it:
+/// admission counts plus the shape signals that pick the cheapest
+/// accumulation path.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchShape {
+    /// Late events (sealed bins) — dropped and counted, never absorbed.
+    pub late: u64,
+    /// Whether the admitted events' cell ranks arrive non-decreasing
+    /// (per-bin batches, flow-major replays, NetFlow exports).
+    pub grouped: bool,
+    /// Admitted (non-late) events.
+    pub admitted: u64,
+    /// Maximal groups of consecutive admitted events sharing one cell
+    /// *and* one feature tuple — exactly the weighted runs the merge
+    /// engine would absorb. For ungrouped batches this over-counts what
+    /// the sort path could still merge, making the profitability test
+    /// conservative: a bail-out can only route to a path that is never
+    /// slower than per-event accumulation.
+    pub runs: u64,
+}
+
+impl BatchShape {
+    /// Whether the run-merge machinery pays for itself on this batch:
+    /// the packets-per-run ratio clears [`COMBINE_MIN_RATIO`]. When it
+    /// does not, [`accumulate_per_event`] skips the merge bookkeeping
+    /// (and, for ungrouped batches, the sort) entirely.
+    pub fn combining_profitable(&self) -> bool {
+        self.admitted as f64 >= self.runs as f64 * COMBINE_MIN_RATIO
+    }
+}
+
 /// Validation pre-pass for the serial (single-stride) plane: atomic batch
-/// validation plus a groupedness check — whether the admitted events'
-/// cell ranks arrive non-decreasing, which is how per-bin batches,
-/// flow-major replays, and NetFlow exports naturally arrive. Grouped
-/// batches take [`accumulate_in_order`], which needs no index array and
-/// no sort; the rest fall back to [`accumulate_grouped`].
+/// validation plus the batch-shape probe — whether the admitted events'
+/// cell ranks arrive non-decreasing (how per-bin batches, flow-major
+/// replays, and NetFlow exports naturally arrive), and how many merged
+/// runs the batch would reduce to. Grouped batches with enough packets
+/// per run take [`accumulate_in_order`], which needs no index array and
+/// no sort; ungrouped ones fall back to [`accumulate_grouped`]; and
+/// batches whose packets-per-run ratio is too low for either to win take
+/// [`accumulate_per_event`].
 ///
 /// Lateness and horizon checks run as plain timestamp comparisons
 /// against precomputed bin boundaries (`bin < b` ⟺ `ts < b·bin_secs` for
 /// integer division), so the hot loop performs no division; the bin
 /// index is derived once per cell change, not once per event.
-///
-/// Returns `(late_count, grouped)`.
 pub fn validate_grouped<E: IngestEvent>(
     batch: &[(usize, E)],
     adm: &Admission,
     stride: usize,
-) -> Result<(u64, bool), StreamError> {
+) -> Result<BatchShape, StreamError> {
     let n_flows = adm.n_flows;
     let bin_secs = adm.bin_secs as u128;
     let late_below = adm.next_emit as u128 * bin_secs;
     let horizon_end = adm.next_emit.saturating_add(adm.horizon_bins);
     let horizon_ts = horizon_end as u128 * bin_secs;
     let mut late = 0u64;
+    let mut admitted = 0u64;
+    let mut runs = 0u64;
     let mut grouped = true;
     let mut last_rank = u64::MAX;
     // Current-cell bounds: events inside them need no division and no
-    // rank update.
+    // rank update. `prev` is the previously walked admitted event — runs
+    // are maximal same-cell-same-tuple segments, and segment counts are
+    // direction-independent, so the backward walk counts exactly what
+    // the forward merge pass would absorb.
     let mut cur_flow = usize::MAX;
     let mut cur_lo = u64::MAX;
     let mut cur_hi = 0u64;
+    let mut prev: Option<&E> = None;
     // Walked back to front: validation is order-independent (forward
     // non-decreasing ranks ⟺ backward non-increasing), and ending at the
     // batch's head leaves exactly the memory the accumulation pass reads
@@ -248,9 +299,16 @@ pub fn validate_grouped<E: IngestEvent>(
             late += 1;
             continue;
         }
+        admitted += 1;
         if flow == cur_flow && ts >= cur_lo && ts < cur_hi {
+            if !prev.is_some_and(|p| ev.same_tuple(p)) {
+                runs += 1;
+            }
+            prev = Some(ev);
             continue;
         }
+        runs += 1;
+        prev = Some(ev);
         let bin = (ts / adm.bin_secs) as usize;
         cur_flow = flow;
         cur_lo = bin as u64 * adm.bin_secs;
@@ -261,7 +319,12 @@ pub fn validate_grouped<E: IngestEvent>(
     }
     match error {
         Some(e) => Err(e),
-        None => Ok((late, grouped)),
+        None => Ok(BatchShape {
+            late,
+            grouped,
+            admitted,
+            runs,
+        }),
     }
 }
 
@@ -325,6 +388,55 @@ pub fn accumulate_in_order<E: IngestEvent, D: DistributionAccumulator>(
             if !same_cell {
                 break 'cell;
             }
+        }
+    }
+}
+
+/// Accumulates a *validated* batch one event at a time, in offer order:
+/// the bail-out path for batches whose packets-per-run ratio is too low
+/// for run merging (or sorting) to pay for itself — see
+/// [`BatchShape::combining_profitable`]. No tuple comparisons, no run
+/// bookkeeping, no index array; each cell is still borrowed once per
+/// contiguous same-cell stretch, and late events are skipped in stride.
+///
+/// Works on *any* event order, grouped or not: entropy finalization is a
+/// pure function of each histogram's count multiset, so per-event
+/// absorption commutes and the emitted bins stay bit-identical to every
+/// other path.
+pub fn accumulate_per_event<E: IngestEvent, D: DistributionAccumulator>(
+    batch: &[(usize, E)],
+    adm: &Admission,
+    grid: &mut impl CellGrid<D>,
+) {
+    let late_below = adm.next_emit as u128 * adm.bin_secs as u128;
+    let len = batch.len();
+    let mut i = 0;
+    while i < len {
+        let (flow, ref ev) = batch[i];
+        let ts = ev.event_time();
+        if (ts as u128) < late_below {
+            i += 1;
+            continue;
+        }
+        // Open a cell: one division, then bounds comparisons only.
+        let bin = (ts / adm.bin_secs) as usize;
+        let lo = bin as u64 * adm.bin_secs;
+        let hi = lo.saturating_add(adm.bin_secs);
+        let acc = grid.cell(bin, flow);
+        acc.absorb_run(ev.tuple(), ev.weight(), ev.bytes());
+        i += 1;
+        while i < len {
+            let (next_flow, ref next) = batch[i];
+            let nts = next.event_time();
+            if (nts as u128) < late_below {
+                i += 1;
+                continue;
+            }
+            if next_flow != flow || nts < lo || nts >= hi {
+                break;
+            }
+            acc.absorb_run(next.tuple(), next.weight(), next.bytes());
+            i += 1;
         }
     }
 }
@@ -475,6 +587,68 @@ mod tests {
     }
 
     #[test]
+    fn batch_shape_counts_runs_and_flags_low_ratio_feeds() {
+        let a = adm();
+        // Every admitted event is its own run: 4 distinct tuples across
+        // 2 cells → ratio 1, combining not profitable.
+        let singles = vec![
+            (0usize, pkt(1, 80, 10)),
+            (0, pkt(2, 80, 20)),
+            (1, pkt(3, 80, 30)),
+            (1, pkt(4, 443, 40)),
+        ];
+        let shape = validate_grouped(&singles, &a, a.n_flows).unwrap();
+        assert_eq!((shape.admitted, shape.runs), (4, 4));
+        assert!(shape.grouped);
+        assert!(!shape.combining_profitable());
+        // Bursty feed: 6 packets collapse to 2 runs (ratio 3) — and a
+        // late event interleaved inside a run must not split it.
+        let later = Admission {
+            next_emit: 1,
+            ..adm()
+        };
+        let bursts = vec![
+            (0usize, pkt(1, 80, 310)),
+            (0, pkt(1, 80, 315)),
+            (0, pkt(9, 80, 20)), // late: bin 0 is sealed
+            (0, pkt(1, 80, 320)),
+            (2, pkt(7, 443, 350)),
+            (2, pkt(7, 443, 355)),
+            (2, pkt(7, 443, 360)),
+        ];
+        let shape = validate_grouped(&bursts, &later, later.n_flows).unwrap();
+        assert_eq!(shape.late, 1);
+        assert_eq!((shape.admitted, shape.runs), (6, 2));
+        assert!(shape.combining_profitable());
+    }
+
+    #[test]
+    fn per_event_path_builds_identical_cells() {
+        // Ungrouped, ratio-1 feed: the bail-out path must produce cells
+        // bit-identical to the sort-based combining path.
+        let a = adm();
+        let batch = vec![
+            (2usize, pkt(1, 80, 310)),
+            (0, pkt(2, 80, 10)),
+            (3, pkt(3, 443, 650)),
+            (1, pkt(4, 80, 20)),
+            (2, pkt(5, 80, 30)),
+        ];
+        let shape = validate_grouped(&batch, &a, a.n_flows).unwrap();
+        assert!(!shape.grouped);
+        assert!(!shape.combining_profitable());
+        let mut per_event = MapGrid::default();
+        accumulate_per_event(&batch, &a, &mut per_event);
+        let mut keys = rank_keys(&batch, &a, a.n_flows);
+        let mut sorted = MapGrid::default();
+        accumulate_grouped(&batch, &mut keys, a.n_flows, a.next_emit, &mut sorted);
+        assert_eq!(per_event.cells.len(), sorted.cells.len());
+        for (k, acc) in &per_event.cells {
+            assert_eq!(acc.summarize(), sorted.cells[k].summarize(), "cell {k:?}");
+        }
+    }
+
+    #[test]
     fn in_order_matches_sorted_path() {
         // Grouped input incl. interleaved late events: the in-order walk
         // and the sort-based walk must build identical cells.
@@ -490,9 +664,9 @@ mod tests {
             (3, pkt(4, 80, 350)),
             (3, pkt(4, 80, 650)), // bin 2
         ];
-        let (late, grouped) = validate_grouped(&batch, &a, a.n_flows).unwrap();
-        assert_eq!(late, 1);
-        assert!(grouped);
+        let shape = validate_grouped(&batch, &a, a.n_flows).unwrap();
+        assert_eq!(shape.late, 1);
+        assert!(shape.grouped);
         let mut in_order = MapGrid::default();
         accumulate_in_order(&batch, &a, &mut in_order);
         let mut keys = rank_keys(&batch, &a, a.n_flows);

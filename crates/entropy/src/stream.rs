@@ -404,15 +404,22 @@ impl<D: DistributionAccumulator> StreamingGridBuilder<D> {
         };
         let stride = self.config.n_flows;
         let next_emit = self.next_emit;
-        let (late, grouped) = combine::validate_grouped(batch, &adm, stride)?;
+        let shape = combine::validate_grouped(batch, &adm, stride)?;
         // The batch validated end to end: only now does any state change.
-        self.late_events += late;
+        self.late_events += shape.late;
         let mut grid = SerialGrid {
             open: &mut self.open,
             hints: &self.size_hints,
             params: &self.params,
         };
-        if grouped {
+        if !shape.combining_profitable() {
+            // Too few packets per distinct run for the merge machinery
+            // (or a sort) to pay for itself: absorb events one by one in
+            // offer order — entropy finalization is order-independent,
+            // so this is never slower than per-packet offers and still
+            // bit-identical.
+            combine::accumulate_per_event(batch, &adm, &mut grid);
+        } else if shape.grouped {
             // The common shape — per-bin batches, flow-major replay,
             // NetFlow exports — needs no index array and no sort.
             combine::accumulate_in_order(batch, &adm, &mut grid);

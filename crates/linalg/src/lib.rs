@@ -83,11 +83,11 @@ pub mod stats;
 
 pub use eigen::{
     block_matvec, block_matvec_serial, sym_eigen, sym_eigen_ql, top_k_eigen, top_k_eigen_detailed,
-    SymEigen, TopKInfo,
+    top_k_eigen_detailed_warm, SymEigen, TopKInfo,
 };
 pub use error::LinalgError;
 pub use matrix::Mat;
 pub use moments::MomentAccumulator;
-pub use pca::{AxisRequest, FitStrategy, Pca};
+pub use pca::{AxisRequest, FitDiagnostics, FitStrategy, Pca};
 pub use solve::{solve, solve_regularized};
 pub use spectrum::{sym_trace_cubed, ResidualPowerSums, Spectrum};

@@ -76,6 +76,23 @@ pub enum AxisRequest {
     VarianceFraction(f64),
 }
 
+/// How a fit actually ran: whether the eigensolve was warm-started and
+/// how many Rayleigh–Ritz cycles it took. Paired with
+/// [`Pca::strategy`] (which engine produced the model, after any
+/// fallback), this is what refit reports surface so an operator can see
+/// the warm-start win per refit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FitDiagnostics {
+    /// Whether a previous eigenbasis seeded the subspace iteration.
+    /// `false` for every cold fit, including the dense and Gram engines
+    /// (which have no iteration to seed) and partial fits that fell back
+    /// to the oracle.
+    pub warm_start: bool,
+    /// Rayleigh–Ritz cycles the partial engine performed; `0` for the
+    /// dense and Gram engines.
+    pub cycles: usize,
+}
+
 /// Eigenpairs kept beyond the requested dimension by a partial fit: one
 /// for the spectral-gap diagnostic at the cut, the rest convergence
 /// headroom for clustered tails.
@@ -116,6 +133,7 @@ pub struct Pca {
     mean: Vec<f64>,
     spectrum: Spectrum,
     strategy: FitStrategy,
+    diagnostics: FitDiagnostics,
 }
 
 impl Pca {
@@ -212,6 +230,7 @@ impl Pca {
             mean,
             spectrum: Spectrum::complete_padded(values, vectors),
             strategy: FitStrategy::Gram,
+            diagnostics: FitDiagnostics::default(),
         })
     }
 
@@ -249,6 +268,31 @@ impl Pca {
         let mean = x.col_means();
         let cov = x.covariance()?;
         Self::partial_from_cov(mean, &cov, k)
+    }
+
+    /// [`fit_partial`](Self::fit_partial) warm-started from a previous
+    /// model's eigenbasis (an `n × c` column block; see
+    /// [`top_k_eigen_detailed_warm`](crate::top_k_eigen_detailed_warm)
+    /// for how stale or malformed guesses degrade). `None` is the cold
+    /// fit, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`fit_partial`](Self::fit_partial).
+    pub fn fit_partial_warm(x: &Mat, k: usize, warm: Option<&Mat>) -> Result<Self, LinalgError> {
+        if x.cols() == 0 {
+            return Err(LinalgError::Empty {
+                what: "PCA of a matrix with zero columns",
+            });
+        }
+        if k == 0 || k > x.cols() {
+            return Err(LinalgError::Domain {
+                what: "partial fit requires 1 <= k <= cols",
+            });
+        }
+        let mean = x.col_means();
+        let cov = x.covariance()?;
+        Self::partial_from_cov_warm(mean, &cov, k, warm)
     }
 
     /// Fits a PCA from streamed moments instead of a materialized matrix.
@@ -352,6 +396,26 @@ impl Pca {
         strategy: FitStrategy,
         request: AxisRequest,
     ) -> Result<Self, LinalgError> {
+        Self::fit_from_moments_warm(moments, strategy, request, None)
+    }
+
+    /// [`fit_from_moments_with`](Self::fit_from_moments_with) with an
+    /// optional warm basis (a previous model's eigenvectors) seeding the
+    /// partial engine's subspace iteration. The dispatch rules are
+    /// unchanged; engines without an iteration to seed (full) ignore the
+    /// guess, and `None` reproduces the cold fit bit for bit — which is
+    /// what keeps warm-started refits a pure function of the push
+    /// history.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`fit_from_moments_with`](Self::fit_from_moments_with).
+    pub fn fit_from_moments_warm(
+        moments: &MomentAccumulator,
+        strategy: FitStrategy,
+        request: AxisRequest,
+        warm: Option<&Mat>,
+    ) -> Result<Self, LinalgError> {
         if moments.dim() == 0 {
             return Err(LinalgError::Empty {
                 what: "PCA of a matrix with zero columns",
@@ -364,12 +428,12 @@ impl Pca {
             }),
             FitStrategy::Partial => {
                 let cov = moments.covariance()?;
-                Self::partial_for_request(moments.mean().to_vec(), &cov, request)
+                Self::partial_for_request_warm(moments.mean().to_vec(), &cov, request, warm)
             }
             FitStrategy::Auto => {
                 if partial_profitable(moments.dim(), request) {
                     let cov = moments.covariance()?;
-                    Self::partial_for_request(moments.mean().to_vec(), &cov, request)
+                    Self::partial_for_request_warm(moments.mean().to_vec(), &cov, request, warm)
                 } else {
                     Self::fit_from_moments(moments)
                 }
@@ -384,6 +448,7 @@ impl Pca {
             mean,
             spectrum: Spectrum::complete(eigen),
             strategy: FitStrategy::Full,
+            diagnostics: FitDiagnostics::default(),
         })
     }
 
@@ -391,11 +456,25 @@ impl Pca {
     /// to the oracle when the iteration does not converge or the partial
     /// spectrum would cover (nearly) everything anyway.
     fn partial_from_cov(mean: Vec<f64>, cov: &Mat, k: usize) -> Result<Self, LinalgError> {
+        Self::partial_from_cov_warm(mean, cov, k, None)
+    }
+
+    /// [`partial_from_cov`](Self::partial_from_cov) with an optional warm
+    /// basis seeding the subspace iteration. The fallback rules are
+    /// identical — in particular a warm fit that fails to converge still
+    /// degrades to the (cold) dense oracle, so warm-starting can never
+    /// produce a worse model, only a faster one.
+    fn partial_from_cov_warm(
+        mean: Vec<f64>,
+        cov: &Mat,
+        k: usize,
+        warm: Option<&Mat>,
+    ) -> Result<Self, LinalgError> {
         let n = cov.rows();
         if k >= n {
             return Self::full_from_cov(mean, cov);
         }
-        let (spectrum, info) = Spectrum::partial_of(cov, k, PARTIAL_SEED)?;
+        let (spectrum, info) = Spectrum::partial_of_warm(cov, k, PARTIAL_SEED, warm)?;
         if !info.converged {
             return Self::full_from_cov(mean, cov);
         }
@@ -403,6 +482,10 @@ impl Pca {
             mean,
             spectrum,
             strategy: FitStrategy::Partial,
+            diagnostics: FitDiagnostics {
+                warm_start: warm.is_some(),
+                cycles: info.iterations,
+            },
         })
     }
 
@@ -413,10 +496,23 @@ impl Pca {
         cov: &Mat,
         request: AxisRequest,
     ) -> Result<Self, LinalgError> {
+        Self::partial_for_request_warm(mean, cov, request, None)
+    }
+
+    /// [`partial_for_request`](Self::partial_for_request) with an optional
+    /// warm basis, passed to every sizing attempt (including each
+    /// variance-fraction escalation — the guess's leading columns stay
+    /// valid however wide the block grows).
+    fn partial_for_request_warm(
+        mean: Vec<f64>,
+        cov: &Mat,
+        request: AxisRequest,
+        warm: Option<&Mat>,
+    ) -> Result<Self, LinalgError> {
         let n = cov.rows();
         match request {
             AxisRequest::Components(m) => {
-                Self::partial_from_cov(mean, cov, (m + 1 + PARTIAL_MARGIN).min(n))
+                Self::partial_from_cov_warm(mean, cov, (m + 1 + PARTIAL_MARGIN).min(n), warm)
             }
             AxisRequest::VarianceFraction(f) => {
                 if !f.is_finite() || f <= 0.0 || f >= 1.0 {
@@ -429,7 +525,7 @@ impl Pca {
                     if k >= n / 2 || k >= n {
                         return Self::full_from_cov(mean, cov);
                     }
-                    let fitted = Self::partial_from_cov(mean.clone(), cov, k)?;
+                    let fitted = Self::partial_from_cov_warm(mean.clone(), cov, k, warm)?;
                     // A non-convergence fallback inside partial_from_cov
                     // already produced the complete oracle spectrum —
                     // escalating further would only repeat dense solves.
@@ -471,6 +567,14 @@ impl Pca {
     /// spectrum — see [`spectrum`](Self::spectrum)).
     pub fn eigenvalues(&self) -> &[f64] {
         self.spectrum.values()
+    }
+
+    /// How the fit actually ran: warm-started or cold, and how many
+    /// Rayleigh–Ritz cycles the partial engine spent. Pair with
+    /// [`strategy`](Self::strategy) to see which engine produced the
+    /// model after any fallback.
+    pub fn diagnostics(&self) -> FitDiagnostics {
+        self.diagnostics
     }
 
     /// The fitted [`Spectrum`]: leading eigenpairs plus exact full-spectrum

@@ -149,14 +149,36 @@ impl SubspaceModel {
         dim: DimSelection,
         strategy: FitStrategy,
     ) -> Result<Self, SubspaceError> {
+        Self::fit_from_moments_warm(moments, dim, strategy, None)
+    }
+
+    /// [`fit_from_moments_with`](Self::fit_from_moments_with)
+    /// **warm-started** from a previous model: the old eigenbasis seeds
+    /// the partial engine's subspace iteration, so a model refitted over
+    /// a slightly drifted window converges in a couple of Rayleigh–Ritz
+    /// cycles instead of a cold iteration. `None` — and every engine
+    /// without an iteration to seed — reproduces the cold fit bit for
+    /// bit; [`Pca::diagnostics`] on the result reports what actually
+    /// happened.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`fit_from_moments_with`](Self::fit_from_moments_with).
+    pub fn fit_from_moments_warm(
+        moments: &MomentAccumulator,
+        dim: DimSelection,
+        strategy: FitStrategy,
+        warm: Option<&SubspaceModel>,
+    ) -> Result<Self, SubspaceError> {
         dim.validate()?;
         if moments.count() < 2 {
             return Err(SubspaceError::BadInput(
                 "need at least two timepoints to model variation",
             ));
         }
+        let basis = warm.map(|model| model.pca.spectrum().vectors());
         Self::from_pca(
-            Pca::fit_from_moments_with(moments, strategy, dim.request())?,
+            Pca::fit_from_moments_warm(moments, strategy, dim.request(), basis)?,
             dim,
         )
     }

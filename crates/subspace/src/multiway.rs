@@ -445,11 +445,37 @@ impl MultiwayFitter {
     ///
     /// `BadInput` with fewer than two absorbed rows; otherwise the same
     /// conditions as [`MultiwayModel::fit`].
-    pub fn finish(mut self) -> Result<MultiwayModel, SubspaceError> {
+    pub fn finish(self) -> Result<MultiwayModel, SubspaceError> {
+        self.finish_warm(None)
+    }
+
+    /// [`finish`](Self::finish) **warm-started** from a previously fitted
+    /// multiway model: its eigenbasis seeds the subspace iteration of
+    /// this fit's eigensolve. The basis lives in the unit-energy
+    /// normalized coordinates both fits share (each fit rescales its raw
+    /// moments before the eigensolve), so the old axes are directly
+    /// reusable even though the two windows' divisors differ slightly.
+    /// `None` is the cold fit, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`finish`](Self::finish); a warm model over a different
+    /// flow count is `BadInput`.
+    pub fn finish_warm(
+        mut self,
+        warm: Option<&MultiwayModel>,
+    ) -> Result<MultiwayModel, SubspaceError> {
         if self.moments.count() < 2 {
             return Err(SubspaceError::BadInput(
                 "need at least two timepoints to model variation",
             ));
+        }
+        if let Some(prev) = warm {
+            if prev.n_flows != self.n_flows {
+                return Err(SubspaceError::BadInput(
+                    "warm-start model covers a different flow count",
+                ));
+            }
         }
         let p = self.n_flows;
         let mut divisors = [1.0f64; 4];
@@ -464,12 +490,47 @@ impl MultiwayFitter {
             }
         }
         self.moments.scale_cols(&scales)?;
-        let model = SubspaceModel::fit_from_moments_with(&self.moments, self.dim, self.strategy)?;
+        let model = SubspaceModel::fit_from_moments_warm(
+            &self.moments,
+            self.dim,
+            self.strategy,
+            warm.map(|prev| &prev.model),
+        )?;
         Ok(MultiwayModel {
             model,
             divisors,
             n_flows: p,
         })
+    }
+
+    /// Removes a previously merged-in fitter's rows — the inverse of
+    /// [`merge`](Self::merge), built on
+    /// [`MomentAccumulator::try_downdate`]. Energy sums subtract exactly
+    /// (clamped at zero against round-off); the moment downdate carries
+    /// the numerical-safety guard, and a refusal (`Ok(false)`) leaves
+    /// `self` fully untouched so the caller can re-accumulate instead.
+    ///
+    /// This is the trimming-round primitive: round 0's merged window
+    /// minus this round's flagged bins, in `O(p²)` instead of
+    /// `O(bins·p²)`.
+    ///
+    /// # Errors
+    ///
+    /// `BadInput` if the flow counts differ; moment-downdate domain
+    /// errors (removing every row) pass through.
+    pub fn try_downdate(&mut self, removed: &MultiwayFitter) -> Result<bool, SubspaceError> {
+        if removed.n_flows != self.n_flows {
+            return Err(SubspaceError::BadInput(
+                "cannot downdate fitters over different flow counts",
+            ));
+        }
+        if !self.moments.try_downdate(&removed.moments)? {
+            return Ok(false);
+        }
+        for (e, &o) in self.energies.iter_mut().zip(&removed.energies) {
+            *e = (*e - o).max(0.0);
+        }
+        Ok(true)
     }
 
     /// Like [`finish`](Self::finish) without consuming the fitter — the

@@ -1,0 +1,354 @@
+//! Warm vs cold refit equivalence — the contract of the warm-started
+//! incremental refit engine.
+//!
+//! [`TrainingWindow::fit`] (cold) is the executable spec; `fit_warm` with
+//! a serving model is the production path the [`Monitor`] takes at every
+//! refit. The warm engine may seed eigensolves from the previous basis
+//! and produce trimmed-round moments by downdating flagged rows, but it
+//! must land on the same model up to iteration-level noise:
+//!
+//! * eigenpairs agree to `1e-8` (relative, sign-agnostic) and
+//!   Q-thresholds to `1e-10` relative, across drift magnitudes from
+//!   "none" to a re-seeded ×1.4 level shift;
+//! * alarm decisions on the monitor-lifecycle scenario are identical;
+//! * warm fitting itself is a pure function of (push history, serving
+//!   model): two identical replays agree bit for bit.
+//!
+//! The suite runs every check under both `FitStrategy::Auto` and
+//! `FitStrategy::Partial`; set `ENTROMINE_REFIT_STRATEGY=auto|partial`
+//! to pin one (the CI matrix runs both).
+
+use entromine::net::Topology;
+use entromine::synth::{AnomalyEvent, AnomalyLabel, Dataset, DatasetConfig};
+use entromine::{DiagnoserConfig, FitStrategy, FittedDiagnoser, TrainingWindow};
+
+/// Wide enough that the partial engine genuinely runs on the entropy
+/// model (4p = 128 columns) under `Auto`, and every model under
+/// `Partial`.
+const P: usize = 32;
+
+fn strategies() -> Vec<FitStrategy> {
+    match std::env::var("ENTROMINE_REFIT_STRATEGY").as_deref() {
+        Ok("auto") => vec![FitStrategy::Auto],
+        Ok("partial") => vec![FitStrategy::Partial],
+        _ => vec![FitStrategy::Auto, FitStrategy::Partial],
+    }
+}
+
+fn config(strategy: FitStrategy) -> DiagnoserConfig {
+    DiagnoserConfig {
+        dim: entromine::subspace::DimSelection::Fixed(4),
+        strategy,
+        refit_rounds: 1,
+        ..Default::default()
+    }
+}
+
+/// Deterministic synthetic diurnal bins: shared latent structure across
+/// flows (per-flow gains), a diurnal phase, arithmetic jitter — no RNG,
+/// so the fixture is reproducible by construction. `shift` moves only
+/// even-indexed flows (a structural drift, visible to the residual
+/// subspace), and `spike_bin` injects one outlier bin for the trimming
+/// rounds to flag.
+fn push_bins(
+    w: &mut TrainingWindow,
+    bins: std::ops::Range<usize>,
+    seed: u64,
+    shift: f64,
+    spike_bin: Option<usize>,
+) {
+    let gain = |i: usize| 1.0 + ((i * 37 + 11) % 101) as f64 / 101.0;
+    for bin in bins {
+        let phase = (bin as f64 / 48.0) * std::f64::consts::TAU;
+        let jit = |i: usize| {
+            let x = (bin as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((i as u64).wrapping_mul(1442695040888963407))
+                .wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15));
+            ((x >> 33) % 1009) as f64 / 1009.0
+        };
+        let skew = |i: usize| if i.is_multiple_of(2) { shift } else { 0.0 };
+        let spike = if spike_bin == Some(bin) { 6.0 } else { 0.0 };
+        let bytes: Vec<f64> = (0..P)
+            .map(|i| {
+                1e5 * gain(i) * (1.0 + 0.1 * phase.sin()) * (1.0 + skew(i))
+                    + 300.0 * jit(i)
+                    + if i == 3 { spike * 1e5 } else { 0.0 }
+            })
+            .collect();
+        let packets: Vec<f64> = bytes.iter().map(|b| b / 100.0).collect();
+        let entropy: Vec<f64> = (0..4 * P)
+            .map(|i| {
+                gain(i % P) * (2.0 + 0.2 * phase.cos())
+                    + 0.02 * jit(i)
+                    + skew(i % P)
+                    + if i % P == 3 { spike } else { 0.0 }
+            })
+            .collect();
+        w.push_bin(bin, &bytes, &packets, &entropy).unwrap();
+    }
+}
+
+fn window(
+    bins: std::ops::Range<usize>,
+    seed: u64,
+    shift: f64,
+    spike: Option<usize>,
+) -> TrainingWindow {
+    let mut w = TrainingWindow::new(P, 64, 16).unwrap();
+    push_bins(&mut w, bins, seed, shift, spike);
+    w
+}
+
+/// Asserts the warm fit matches the cold fit up to iteration-level
+/// noise: eigenpairs to 1e-8 relative (values and sign-agnostic axis
+/// alignment), Q-thresholds to 1e-10 relative.
+fn assert_equivalent(cold: &FittedDiagnoser, warm: &FittedDiagnoser, alpha: f64, what: &str) {
+    let pairs: [(&str, &entromine::subspace::SubspaceModel, f64, f64); 3] = [
+        (
+            "bytes",
+            cold.bytes_model(),
+            cold.bytes_model().threshold(alpha).unwrap(),
+            warm.bytes_model().threshold(alpha).unwrap(),
+        ),
+        (
+            "packets",
+            cold.packets_model(),
+            cold.packets_model().threshold(alpha).unwrap(),
+            warm.packets_model().threshold(alpha).unwrap(),
+        ),
+        (
+            "entropy",
+            cold.entropy_model().inner(),
+            cold.entropy_model().threshold(alpha).unwrap(),
+            warm.entropy_model().threshold(alpha).unwrap(),
+        ),
+    ];
+    let warm_inner = [
+        warm.bytes_model(),
+        warm.packets_model(),
+        warm.entropy_model().inner(),
+    ];
+    for ((name, cold_model, t_cold, t_warm), warm_model) in pairs.iter().zip(warm_inner) {
+        assert!(
+            (t_warm - t_cold).abs() <= 1e-10 * t_cold.abs(),
+            "{what}/{name}: Q-threshold drifted: cold {t_cold} vs warm {t_warm}"
+        );
+        let (sc, sw) = (cold_model.pca().spectrum(), warm_model.pca().spectrum());
+        let m = cold_model.normal_dim();
+        assert_eq!(m, warm_model.normal_dim(), "{what}/{name}: normal_dim");
+        let lead = sc.values()[0].max(1e-300);
+        for axis in 0..m {
+            let (lc, lw) = (sc.values()[axis], sw.values()[axis]);
+            assert!(
+                (lw - lc).abs() <= 1e-8 * lead,
+                "{what}/{name}: eigenvalue {axis}: cold {lc} vs warm {lw}"
+            );
+            let (vc, vw) = (sc.vectors(), sw.vectors());
+            let dot: f64 = (0..vc.rows()).map(|r| vc[(r, axis)] * vw[(r, axis)]).sum();
+            assert!(
+                dot.abs() >= 1.0 - 1e-8,
+                "{what}/{name}: axis {axis} misaligned: |dot| = {}",
+                dot.abs()
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_fit_matches_cold_across_drift_magnitudes() {
+    for strategy in strategies() {
+        let config = config(strategy);
+        // The serving model a monitor would be holding when the refit
+        // fires: a cold fit on the pre-drift window.
+        let serving = window(0..64, 7, 0.0, None).fit(&config).unwrap();
+        // Drift scenarios, mildest to harshest: identical content,
+        // diurnal continuation (the window slid 16 bins), and a
+        // re-seeded feed with a ×1.4 level shift on half the flows.
+        let scenarios: [(&str, TrainingWindow); 3] = [
+            ("no-drift", window(0..64, 7, 0.0, None)),
+            ("diurnal", window(16..80, 7, 0.0, None)),
+            ("shift-1.4x", window(16..80, 9, 0.4, None)),
+        ];
+        for (what, target) in scenarios {
+            let cold = target.fit(&config).unwrap();
+            let (warm, trace) = target.fit_warm(&config, Some(&serving)).unwrap();
+            assert!(
+                !trace.rounds.is_empty(),
+                "{what}: trace must record round 0"
+            );
+            assert_equivalent(&cold, &warm, config.alpha, what);
+            // The wide entropy fit really ran warm-started wherever the
+            // partial engine was engaged.
+            if strategy == FitStrategy::Partial {
+                assert!(trace.any_warm(), "{what}: partial fits must warm-start");
+            }
+        }
+    }
+}
+
+#[test]
+fn trimming_rounds_downdate_and_still_match_the_cold_fit() {
+    for strategy in strategies() {
+        let config = config(strategy);
+        let serving = window(0..64, 7, 0.0, None).fit(&config).unwrap();
+        // One outlier bin: the suspicion gate flags it, so the warm
+        // engine takes the downdate path for round 1's moments while the
+        // cold spec re-accumulates the 63 clean rows.
+        let target = window(16..80, 7, 0.0, Some(40));
+        let cold = target.fit(&config).unwrap();
+        let (warm, trace) = target.fit_warm(&config, Some(&serving)).unwrap();
+        assert_eq!(
+            trace.rounds.len(),
+            2,
+            "spiked fixture must execute a trimming round"
+        );
+        let round1 = &trace.rounds[1];
+        assert!(round1.flagged_bins >= 1, "spike bin must be flagged");
+        assert!(
+            round1.downdated,
+            "small flagged set must take the downdate path"
+        );
+        assert_eq!(round1.training_bins + round1.flagged_bins, 64);
+        assert_equivalent(&cold, &warm, config.alpha, "spiked");
+    }
+}
+
+#[test]
+fn warm_fit_is_a_pure_function_of_history_and_serving_model() {
+    for strategy in strategies() {
+        let config = config(strategy);
+        let serving = window(0..64, 7, 0.0, None).fit(&config).unwrap();
+        let a = window(16..80, 7, 0.0, Some(40));
+        let b = window(16..80, 7, 0.0, Some(40));
+        let (fa, ta) = a.fit_warm(&config, Some(&serving)).unwrap();
+        let (fb, tb) = b.fit_warm(&config, Some(&serving)).unwrap();
+        // Bit-identical models: same SPE, same thresholds, on every
+        // detector. (Timing is observational and excluded.)
+        let probe_bytes = vec![1.1e5; P];
+        let probe_entropy = vec![2.0; 4 * P];
+        assert_eq!(
+            fa.bytes_model().spe(&probe_bytes).unwrap(),
+            fb.bytes_model().spe(&probe_bytes).unwrap()
+        );
+        assert_eq!(
+            fa.entropy_model().spe(&probe_entropy).unwrap(),
+            fb.entropy_model().spe(&probe_entropy).unwrap()
+        );
+        assert_eq!(
+            fa.bytes_model().threshold(config.alpha).unwrap(),
+            fb.bytes_model().threshold(config.alpha).unwrap()
+        );
+        assert_eq!(
+            fa.entropy_model().threshold(config.alpha).unwrap(),
+            fb.entropy_model().threshold(config.alpha).unwrap()
+        );
+        assert_eq!(ta.rounds.len(), tb.rounds.len());
+        for (ra, rb) in ta.rounds.iter().zip(&tb.rounds) {
+            assert_eq!(ra.training_bins, rb.training_bins);
+            assert_eq!(ra.flagged_bins, rb.flagged_bins);
+            assert_eq!(ra.warm_start, rb.warm_start);
+            assert_eq!(ra.downdated, rb.downdated);
+            assert_eq!(ra.cycles, rb.cycles);
+        }
+    }
+}
+
+#[test]
+fn warm_and_cold_models_alarm_identically_on_the_lifecycle_scenario() {
+    // The monitor-lifecycle fixture: 160 bins, a port scan at bin 70
+    // (inside the training window) and an alpha flow at 125 (scored).
+    let d = {
+        let config = DatasetConfig {
+            seed: 11,
+            n_bins: 160,
+            sample_rate: 100,
+            traffic_scale: 0.03,
+            rate_noise: 0.03,
+            anonymize: false,
+        };
+        let events = vec![
+            AnomalyEvent {
+                label: AnomalyLabel::PortScan,
+                start_bin: 70,
+                duration: 1,
+                flows: vec![2],
+                packets_per_cell: 220.0,
+                seed: 5,
+            },
+            AnomalyEvent {
+                label: AnomalyLabel::AlphaFlow,
+                start_bin: 125,
+                duration: 2,
+                flows: vec![6],
+                packets_per_cell: 420.0,
+                seed: 6,
+            },
+        ];
+        Dataset::generate(Topology::line(3), config, events)
+    };
+    for strategy in strategies() {
+        let config = DiagnoserConfig {
+            refit_rounds: 1,
+            strategy,
+            ..Default::default()
+        };
+        // Replay the monitor's window state at the bin-119 refit, then
+        // fit it cold (the spec) and warm (chained through the bin-39
+        // and bin-79 models, exactly like the live monitor).
+        let mut w = TrainingWindow::new(d.n_flows(), 80, 20).unwrap();
+        let mut chain: Option<FittedDiagnoser> = None;
+        for bin in 0..=119 {
+            w.push_bin(
+                bin,
+                d.volumes.bytes().row(bin),
+                d.volumes.packets().row(bin),
+                &d.tensor.unfolded_row(bin),
+            )
+            .unwrap();
+            if bin == 39 || bin == 79 || bin == 119 {
+                if bin == 119 {
+                    let cold = w.fit(&config).unwrap();
+                    let (warm, _) = w.fit_warm(&config, chain.as_ref()).unwrap();
+                    let mut cold_scorer = cold.streaming(config.alpha).unwrap();
+                    let mut warm_scorer = warm.streaming(config.alpha).unwrap();
+                    let mut alarms = 0;
+                    for score_bin in 120..160 {
+                        let rows = (
+                            d.volumes.bytes().row(score_bin),
+                            d.volumes.packets().row(score_bin),
+                            d.tensor.unfolded_row(score_bin),
+                        );
+                        let dc = cold_scorer
+                            .score_rows(score_bin, rows.0, rows.1, &rows.2)
+                            .unwrap();
+                        let dw = warm_scorer
+                            .score_rows(score_bin, rows.0, rows.1, &rows.2)
+                            .unwrap();
+                        assert_eq!(
+                            dc.is_some(),
+                            dw.is_some(),
+                            "alarm decision diverged at bin {score_bin}"
+                        );
+                        if let (Some(dc), Some(dw)) = (&dc, &dw) {
+                            assert_eq!(dc.methods, dw.methods, "methods at bin {score_bin}");
+                            assert_eq!(
+                                dc.flows.iter().map(|f| f.flow).collect::<Vec<_>>(),
+                                dw.flows.iter().map(|f| f.flow).collect::<Vec<_>>(),
+                                "blamed flows at bin {score_bin}"
+                            );
+                            alarms += 1;
+                        }
+                    }
+                    assert!(
+                        alarms > 0,
+                        "fixture must alarm post-refit for the test to bite"
+                    );
+                } else {
+                    let (fitted, _) = w.fit_warm(&config, chain.as_ref()).unwrap();
+                    chain = Some(fitted);
+                }
+            }
+        }
+    }
+}
