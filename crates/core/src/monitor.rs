@@ -233,6 +233,10 @@ pub struct Monitor {
     bins_scored: u64,
     detections: u64,
     refits: u64,
+    /// Row scratch recycled across [`observe_bin`](Self::observe_bin)
+    /// calls: `(bytes, packets, unfolded entropy)` — no per-bin
+    /// allocations on the serve path.
+    row_scratch: (Vec<f64>, Vec<f64>, Vec<f64>),
 }
 
 impl Monitor {
@@ -298,6 +302,7 @@ impl Monitor {
             bins_scored: 0,
             detections: 0,
             refits: 0,
+            row_scratch: (Vec::new(), Vec::new(), Vec::new()),
         })
     }
 
@@ -362,14 +367,17 @@ impl Monitor {
         self.refits
     }
 
-    /// Observes one finalized bin from the ingest plane.
+    /// Observes one finalized bin from the ingest plane. The measurement
+    /// rows are materialized into recycled scratch, so a warm monitor
+    /// serves bins without per-bin row allocations.
     pub fn observe_bin(&mut self, fb: &FinalizedBin) -> Result<MonitorStep, DiagnosisError> {
-        self.observe_rows(
-            fb.bin,
-            &fb.bytes_row(),
-            &fb.packets_row(),
-            &fb.unfolded_entropy_row(),
-        )
+        let (mut bytes, mut packets, mut entropy) = std::mem::take(&mut self.row_scratch);
+        fb.bytes_row_into(&mut bytes);
+        fb.packets_row_into(&mut packets);
+        fb.unfolded_entropy_row_into(&mut entropy);
+        let out = self.observe_rows(fb.bin, &bytes, &packets, &entropy);
+        self.row_scratch = (bytes, packets, entropy);
+        out
     }
 
     /// Observes one bin given its three measurement rows: score (when a

@@ -332,22 +332,45 @@ impl FittedDiagnoser {
         })
     }
 
-    /// Whether one bin's measurement rows look suspicious under SPE *or*
-    /// Hotelling's T² for any of the three detectors — the row test the
-    /// clean-training refit excludes on.
-    pub(crate) fn row_suspicious(
+    /// One suspicion flag per `(bytes, packets, entropy)` row triple:
+    /// whether the bin looks suspicious under SPE *or* Hotelling's T² for
+    /// any of the three detectors — the row test the clean-training refit
+    /// excludes on, shared by the batch refit loop and the rolling-window
+    /// fit. Each model scans its rows in one batched single-pass
+    /// `(SPE, T²)` sweep ([`SubspaceModel::spe_t2_batch`]) over shared
+    /// scratch: one axis-matrix pass per model per row instead of the
+    /// three the separate statistic calls paid.
+    pub(crate) fn suspicion_flags<'r>(
         &self,
         gate: &SuspicionGate,
-        bytes_row: &[f64],
-        packets_row: &[f64],
-        entropy_raw: &[f64],
-    ) -> Result<bool, DiagnosisError> {
-        Ok(self.bytes_model.spe(bytes_row)? > gate.t_bytes
-            || self.packets_model.spe(packets_row)? > gate.t_packets
-            || self.entropy_model.spe(entropy_raw)? > gate.t_entropy
-            || self.bytes_model.t2(bytes_row)? > gate.t2_bytes
-            || self.packets_model.t2(packets_row)? > gate.t2_packets
-            || self.entropy_model.t2(entropy_raw)? > gate.t2_entropy)
+        rows: impl IntoIterator<Item = (&'r [f64], &'r [f64], &'r [f64])>,
+    ) -> Result<Vec<bool>, DiagnosisError> {
+        let mut bytes_rows = Vec::new();
+        let mut packets_rows = Vec::new();
+        let mut entropy_rows = Vec::new();
+        for (b, p, e) in rows {
+            bytes_rows.push(b);
+            packets_rows.push(p);
+            entropy_rows.push(e);
+        }
+        let mut flags = vec![false; bytes_rows.len()];
+        let mut pairs = Vec::with_capacity(bytes_rows.len());
+        self.bytes_model
+            .spe_t2_batch(bytes_rows.iter().copied(), &mut pairs)?;
+        for (flag, &(spe, t2)) in flags.iter_mut().zip(&pairs) {
+            *flag = spe > gate.t_bytes || t2 > gate.t2_bytes;
+        }
+        self.packets_model
+            .spe_t2_batch(packets_rows.iter().copied(), &mut pairs)?;
+        for (flag, &(spe, t2)) in flags.iter_mut().zip(&pairs) {
+            *flag = *flag || spe > gate.t_packets || t2 > gate.t2_packets;
+        }
+        self.entropy_model
+            .spe_t2_batch(entropy_rows.iter().copied(), &mut pairs)?;
+        for (flag, &(spe, t2)) in flags.iter_mut().zip(&pairs) {
+            *flag = *flag || spe > gate.t_entropy || t2 > gate.t2_entropy;
+        }
+        Ok(flags)
     }
 
     /// Assembles a fitted pipeline from already-fitted models — the back
@@ -450,7 +473,7 @@ impl FittedDiagnoser {
 
     /// Bins that look suspicious under SPE *or* Hotelling's T² for any of
     /// the three detectors — the trimming set for clean-training refits,
-    /// a replay of [`row_suspicious`](Self::row_suspicious) over the
+    /// a replay of [`suspicion_flags`](Self::suspicion_flags) over the
     /// dataset's rows.
     fn suspicious_bins(
         &self,
@@ -458,18 +481,25 @@ impl FittedDiagnoser {
         alpha: f64,
     ) -> Result<std::collections::HashSet<usize>, DiagnosisError> {
         let gate = self.suspicion_gate(alpha)?;
-        let mut flagged = std::collections::HashSet::new();
-        for bin in 0..dataset.n_bins() {
-            if self.row_suspicious(
-                &gate,
-                dataset.volumes.bytes().row(bin),
-                dataset.volumes.packets().row(bin),
-                &dataset.tensor.unfolded_row(bin),
-            )? {
-                flagged.insert(bin);
-            }
-        }
-        Ok(flagged)
+        let entropy_rows: Vec<Vec<f64>> = (0..dataset.n_bins())
+            .map(|bin| dataset.tensor.unfolded_row(bin))
+            .collect();
+        let flags = self.suspicion_flags(
+            &gate,
+            (0..dataset.n_bins()).map(|bin| {
+                (
+                    dataset.volumes.bytes().row(bin),
+                    dataset.volumes.packets().row(bin),
+                    entropy_rows[bin].as_slice(),
+                )
+            }),
+        )?;
+        Ok(flags
+            .iter()
+            .enumerate()
+            .filter(|&(_, &flagged)| flagged)
+            .map(|(bin, _)| bin)
+            .collect())
     }
 
     /// The residual-magnitude series of all three detectors — the axes of

@@ -118,6 +118,9 @@ pub struct StreamingDiagnoser<'a> {
     t_entropy: f64,
     bins_scored: u64,
     detections: u64,
+    /// Row scratch recycled across [`score_bin`](Self::score_bin) calls:
+    /// `(bytes, packets, unfolded entropy)` — no per-bin allocations.
+    scratch: (Vec<f64>, Vec<f64>, Vec<f64>),
 }
 
 impl<'a> StreamingDiagnoser<'a> {
@@ -134,6 +137,7 @@ impl<'a> StreamingDiagnoser<'a> {
             t_entropy,
             bins_scored: 0,
             detections: 0,
+            scratch: (Vec::new(), Vec::new(), Vec::new()),
         })
     }
 
@@ -162,14 +166,17 @@ impl<'a> StreamingDiagnoser<'a> {
         self.detections
     }
 
-    /// Scores one finalized bin from the streaming ingest stage.
+    /// Scores one finalized bin from the streaming ingest stage. The
+    /// three measurement rows are materialized into recycled scratch
+    /// buffers, so a warm diagnoser scores bins without allocating.
     pub fn score_bin(&mut self, bin: &FinalizedBin) -> Result<Option<Diagnosis>, DiagnosisError> {
-        self.score_rows(
-            bin.bin,
-            &bin.bytes_row(),
-            &bin.packets_row(),
-            &bin.unfolded_entropy_row(),
-        )
+        let (mut bytes, mut packets, mut entropy) = std::mem::take(&mut self.scratch);
+        bin.bytes_row_into(&mut bytes);
+        bin.packets_row_into(&mut packets);
+        bin.unfolded_entropy_row_into(&mut entropy);
+        let out = self.score_rows(bin.bin, &bytes, &packets, &entropy);
+        self.scratch = (bytes, packets, entropy);
+        out
     }
 
     /// Scores one bin given its three measurement rows: byte counts and

@@ -339,12 +339,23 @@ impl TrainingWindow {
         for _ in 0..config.refit_rounds {
             let round_start = Instant::now();
             // Same trimming statistic as the batch pipeline: SPE or
-            // Hotelling's T² on any detector.
+            // Hotelling's T² on any detector, scanned as one batched
+            // single-pass (SPE, T²) sweep per model over shared scratch.
             let gate = fitted.suspicion_gate(config.alpha)?;
+            let flags = fitted.suspicion_flags(
+                &gate,
+                rows.iter().map(|r| {
+                    (
+                        r.bytes.as_slice(),
+                        r.packets.as_slice(),
+                        r.entropy_raw.as_slice(),
+                    )
+                }),
+            )?;
             let mut clean: Vec<&WindowRow> = Vec::with_capacity(rows.len());
             let mut flagged_rows: Vec<&WindowRow> = Vec::new();
-            for row in &rows {
-                if fitted.row_suspicious(&gate, &row.bytes, &row.packets, &row.entropy_raw)? {
+            for (row, &suspicious) in rows.iter().zip(&flags) {
+                if suspicious {
                     flagged_rows.push(row);
                 } else {
                     clean.push(row);

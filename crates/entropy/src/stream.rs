@@ -214,6 +214,31 @@ impl FinalizedBin {
     pub fn packets_row(&self) -> Vec<f64> {
         self.summaries.iter().map(|s| s.packets as f64).collect()
     }
+
+    /// [`unfolded_entropy_row`](Self::unfolded_entropy_row) into a caller
+    /// scratch buffer (cleared first) — the allocation-free form the
+    /// per-bin scoring hot path uses.
+    pub fn unfolded_entropy_row_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(4 * self.summaries.len());
+        for k in 0..4 {
+            out.extend(self.summaries.iter().map(|s| s.entropy[k]));
+        }
+    }
+
+    /// [`bytes_row`](Self::bytes_row) into a caller scratch buffer
+    /// (cleared first).
+    pub fn bytes_row_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.summaries.iter().map(|s| s.bytes as f64));
+    }
+
+    /// [`packets_row`](Self::packets_row) into a caller scratch buffer
+    /// (cleared first).
+    pub fn packets_row_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.summaries.iter().map(|s| s.packets as f64));
+    }
 }
 
 /// Streaming grid builder: open-bin accumulators + event-time watermark.

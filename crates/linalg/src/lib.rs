@@ -36,6 +36,12 @@
 //!   row stream, the substrate of the streaming fit phase: rows are
 //!   absorbed as they are finalized and the `t × n` training matrix never
 //!   materializes.
+//! * [`ScorePlan`] — the fused scoring plane: allocation-free SPE via the
+//!   norm identity `‖x−μ‖² − Σⱼ sⱼ²` with a cancellation guard and a
+//!   batch entry point, built from a fitted model by [`Pca::score_plan`].
+//!   The project–reconstruct–residual chain stays as
+//!   [`Pca::spe_reference`] (executable spec, automatic fallback, and the
+//!   `ENTROMINE_FORCE_REFERENCE_SCORE` pin — [`reference_score_forced`]).
 //! * [`stats`] — the standard-normal quantile function (needed by the
 //!   Jackson–Mudholkar Q-statistic threshold) and friends.
 //!
@@ -77,6 +83,7 @@ mod matrix;
 mod moments;
 pub mod par;
 mod pca;
+pub mod score;
 mod solve;
 mod spectrum;
 pub mod stats;
@@ -89,5 +96,6 @@ pub use error::LinalgError;
 pub use matrix::Mat;
 pub use moments::MomentAccumulator;
 pub use pca::{AxisRequest, FitDiagnostics, FitStrategy, Pca};
+pub use score::{reference_score_forced, ScorePlan, GUARD_EPS};
 pub use solve::{solve, solve_regularized};
 pub use spectrum::{sym_trace_cubed, ResidualPowerSums, Spectrum};

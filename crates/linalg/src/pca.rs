@@ -34,6 +34,7 @@
 //! crate.
 
 use crate::matrix::dot;
+use crate::score::ScorePlan;
 use crate::spectrum::{ResidualPowerSums, Spectrum};
 use crate::{sym_eigen, LinalgError, Mat, MomentAccumulator};
 
@@ -648,6 +649,12 @@ impl Pca {
     fn scores_of_centered(&self, centered: &[f64], m: usize) -> Vec<f64> {
         let mut scores = vec![0.0; m];
         for (i, &ci) in centered.iter().enumerate() {
+            // The zero-skip lives only in this reference chain: it pays off
+            // on the sparse synthetic fixtures it was written against, but
+            // on dense entropy rows (the production workload) it is a
+            // per-element branch that mispredicts almost every time. The
+            // fused [`ScorePlan`](crate::ScorePlan) path deliberately drops
+            // it and centers/scores unconditionally.
             if ci == 0.0 {
                 continue;
             }
@@ -688,10 +695,41 @@ impl Pca {
     }
 
     /// Squared prediction error: `||x_tilde||^2`, the detection statistic of
-    /// the subspace method.
+    /// the subspace method. Alias of [`spe_reference`](Self::spe_reference);
+    /// the serving layers score through a fused [`ScorePlan`] instead (see
+    /// [`score_plan`](Self::score_plan)).
     pub fn spe(&self, x: &[f64], m: usize) -> Result<f64, LinalgError> {
+        self.spe_reference(x, m)
+    }
+
+    /// The reference SPE chain — project, reconstruct, residual, norm —
+    /// kept verbatim as the executable spec of the statistic. The fused
+    /// [`ScorePlan`] path is pinned against it (≤1e-10 relative) and falls
+    /// back to this computation shape when its cancellation guard trips;
+    /// `ENTROMINE_FORCE_REFERENCE_SCORE` routes whole processes here.
+    pub fn spe_reference(&self, x: &[f64], m: usize) -> Result<f64, LinalgError> {
         let r = self.residual(x, m)?;
         Ok(dot(&r, &r))
+    }
+
+    /// Builds the fused scoring plane over the leading `m` axes: the mean
+    /// plus those axes transposed into contiguous rows, ready for
+    /// allocation-free norm-identity scoring ([`ScorePlan::spe`],
+    /// [`ScorePlan::spe_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::Domain`] if `m > self.n_axes()`.
+    pub fn score_plan(&self, m: usize) -> Result<ScorePlan, LinalgError> {
+        if m > self.n_axes() {
+            return Err(LinalgError::Domain {
+                what: "requested more components than available axes",
+            });
+        }
+        let n = self.dim();
+        let vectors = self.spectrum.vectors();
+        let axes = Mat::from_fn(m, n, |j, i| vectors[(i, j)]);
+        ScorePlan::new(self.mean.clone(), axes)
     }
 
     fn check(&self, x: &[f64], m: usize) -> Result<(), LinalgError> {

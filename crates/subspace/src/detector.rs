@@ -2,7 +2,9 @@
 
 use crate::qstat::{empirical_quantile, q_threshold_from_power_sums, ThresholdPolicy};
 use crate::SubspaceError;
-use entromine_linalg::{AxisRequest, FitStrategy, Mat, MomentAccumulator, Pca};
+use entromine_linalg::{
+    reference_score_forced, AxisRequest, FitStrategy, Mat, MomentAccumulator, Pca, ScorePlan,
+};
 
 /// How the dimension of the normal subspace is chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +75,11 @@ pub struct Detection {
 pub struct SubspaceModel {
     pca: Pca,
     m: usize,
+    /// The fused scoring plane over the leading `m` axes, built once at
+    /// fit time. Every SPE/T² consumer scores through it (allocation-free
+    /// norm identity) unless `ENTROMINE_FORCE_REFERENCE_SCORE` pins the
+    /// process to the reference chain.
+    plan: ScorePlan,
     /// Sorted (ascending) SPEs of the training rows, when known.
     calibration: Option<Vec<f64>>,
 }
@@ -110,11 +117,9 @@ impl SubspaceModel {
         let pca = Pca::fit_with(x, strategy, dim.request())?;
         let mut model = Self::from_pca(pca, dim)?;
         // Matrix fits calibrate for free: one O(t·n·m) scoring pass over
-        // data already in hand.
+        // data already in hand, batched through the scoring plane.
         let mut spes = Vec::with_capacity(x.rows());
-        for row in x.row_iter() {
-            spes.push(model.spe(row)?);
-        }
+        model.spe_batch(x.row_iter(), &mut spes)?;
         spes.sort_by(|a, b| a.partial_cmp(b).expect("SPEs are finite"));
         model.calibration = Some(spes);
         Ok(model)
@@ -206,11 +211,26 @@ impl SubspaceModel {
                 available: pca.n_axes(),
             });
         }
+        let plan = pca.score_plan(m)?;
         Ok(SubspaceModel {
             pca,
             m,
+            plan,
             calibration: None,
         })
+    }
+
+    /// The eigenvalue floor below which an axis counts as zero-variance
+    /// for T² (shared by the plan and reference paths).
+    fn t2_floor(&self) -> f64 {
+        1e-12 * self.pca.total_variance().max(1e-300)
+    }
+
+    /// Installs an externally computed, already-sorted calibration sample.
+    /// The multiway wrapper uses this to calibrate from raw rows it scored
+    /// through its own divisor-folded plan.
+    pub(crate) fn set_calibration(&mut self, sorted_spes: Vec<f64>) {
+        self.calibration = Some(sorted_spes);
     }
 
     /// Supplies (or replaces) the empirical calibration of a streamed fit
@@ -226,9 +246,7 @@ impl SubspaceModel {
         rows: impl IntoIterator<Item = &'r [f64]>,
     ) -> Result<(), SubspaceError> {
         let mut spes = Vec::new();
-        for row in rows {
-            spes.push(self.spe(row)?);
-        }
+        self.spe_batch(rows, &mut spes)?;
         if spes.is_empty() {
             return Err(SubspaceError::BadInput(
                 "empirical calibration needs at least one training row",
@@ -278,9 +296,79 @@ impl SubspaceModel {
         self.pca.explained_variance_ratio(self.m)
     }
 
-    /// Squared prediction error of one observation row.
+    /// Squared prediction error of one observation row, via the fused
+    /// scoring plane (norm identity, allocation-free, cancellation-guarded)
+    /// — or the reference project–reconstruct–residual chain when
+    /// `ENTROMINE_FORCE_REFERENCE_SCORE` pins the process.
     pub fn spe(&self, row: &[f64]) -> Result<f64, SubspaceError> {
-        Ok(self.pca.spe(row, self.m)?)
+        if reference_score_forced() {
+            return Ok(self.pca.spe_reference(row, self.m)?);
+        }
+        Ok(self.plan.spe(row)?)
+    }
+
+    /// SPEs of a batch of rows through the scoring plane's batch entry
+    /// (shared warm scratch, axis panel hot across consecutive rows —
+    /// bitwise identical to calling [`spe`](Self::spe) per row). `out` is
+    /// cleared first; one SPE per row in order.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors from scoring, on the first offending row.
+    pub fn spe_batch<'r>(
+        &self,
+        rows: impl IntoIterator<Item = &'r [f64]>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), SubspaceError> {
+        if reference_score_forced() {
+            out.clear();
+            for row in rows {
+                out.push(self.pca.spe_reference(row, self.m)?);
+            }
+            return Ok(());
+        }
+        self.plan.spe_batch(rows, out)?;
+        Ok(())
+    }
+
+    /// SPE and T² of one row from a single axis-matrix pass — the
+    /// refit-trimming gate's statistic pair at a third of the scans the
+    /// separate calls pay.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors from scoring.
+    pub fn spe_t2(&self, row: &[f64]) -> Result<(f64, f64), SubspaceError> {
+        if reference_score_forced() {
+            return Ok((self.spe(row)?, self.t2(row)?));
+        }
+        Ok(self
+            .plan
+            .spe_t2(row, self.pca.eigenvalues(), self.t2_floor())?)
+    }
+
+    /// Batched [`spe_t2`](Self::spe_t2): one `(SPE, T²)` pair per row
+    /// appended to `out` (cleared first) — the refit-trimming scan, one
+    /// fused axis pass per row over shared scratch.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors from scoring, on the first offending row.
+    pub fn spe_t2_batch<'r>(
+        &self,
+        rows: impl IntoIterator<Item = &'r [f64]>,
+        out: &mut Vec<(f64, f64)>,
+    ) -> Result<(), SubspaceError> {
+        if reference_score_forced() {
+            out.clear();
+            for row in rows {
+                out.push((self.spe(row)?, self.t2(row)?));
+            }
+            return Ok(());
+        }
+        self.plan
+            .spe_t2_batch(rows, self.pca.eigenvalues(), self.t2_floor(), out)?;
+        Ok(())
     }
 
     /// The residual vector `x̃` of one observation row.
@@ -348,15 +436,17 @@ impl SubspaceModel {
     ///
     /// Axes with (numerically) zero variance are skipped.
     pub fn t2(&self, row: &[f64]) -> Result<f64, SubspaceError> {
-        let scores = self.pca.project(row, self.m)?;
-        let total = self.pca.total_variance();
-        let floor = 1e-12 * total.max(1e-300);
-        Ok(scores
-            .iter()
-            .zip(self.pca.eigenvalues())
-            .filter(|(_, &l)| l > floor)
-            .map(|(s, &l)| s * s / l)
-            .sum())
+        let floor = self.t2_floor();
+        if reference_score_forced() {
+            let scores = self.pca.project(row, self.m)?;
+            return Ok(scores
+                .iter()
+                .zip(self.pca.eigenvalues())
+                .filter(|(_, &l)| l > floor)
+                .map(|(s, &l)| s * s / l)
+                .sum());
+        }
+        Ok(self.plan.t2(row, self.pca.eigenvalues(), floor)?)
     }
 
     /// The `χ²_m` quantile used as the T² trimming threshold.
@@ -368,11 +458,12 @@ impl SubspaceModel {
     /// **score half** of the fit/score split. Returns the [`Detection`]
     /// if the row's SPE exceeds `threshold`, tagged with `bin`.
     ///
-    /// Cost is one projection plus the residual norm — `O(n·m)` with
-    /// contiguous access — so a live monitor can afford it on every
-    /// arriving bin without ever refitting. Batch detection
-    /// ([`detect`](Self::detect)) replays rows through this same method,
-    /// which is what guarantees batch and streaming agree exactly.
+    /// Cost is one fused axis-matrix pass — `O(n·m)` with contiguous
+    /// access and zero allocations — so a live monitor can afford it on
+    /// every arriving bin without ever refitting. Batch detection
+    /// ([`detect`](Self::detect)) pushes rows through the same per-row
+    /// plan arithmetic via [`spe_batch`](Self::spe_batch), which is what
+    /// guarantees batch and streaming agree exactly (bitwise).
     pub fn score_row(
         &self,
         bin: usize,
@@ -406,23 +497,31 @@ impl SubspaceModel {
     }
 
     /// Evaluates every row of `x` and returns the bins whose SPE exceeds
-    /// `δ²_α`, in time order — a replay of [`score_row`](Self::score_row)
-    /// over the rows.
+    /// `δ²_α`, in time order — one [`spe_batch`](Self::spe_batch) pass
+    /// (bitwise equal to replaying [`score_row`](Self::score_row), since
+    /// both run the same per-row plan arithmetic).
     pub fn detect(&self, x: &Mat, alpha: f64) -> Result<Vec<Detection>, SubspaceError> {
-        let scorer = self.scorer(alpha)?;
-        let mut out = Vec::new();
-        for (bin, row) in x.row_iter().enumerate() {
-            if let Some(d) = scorer.score(bin, row)? {
-                out.push(d);
-            }
-        }
-        Ok(out)
+        let threshold = self.threshold(alpha)?;
+        let mut spes = Vec::with_capacity(x.rows());
+        self.spe_batch(x.row_iter(), &mut spes)?;
+        Ok(spes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &spe)| spe > threshold)
+            .map(|(bin, &spe)| Detection {
+                bin,
+                spe,
+                threshold,
+            })
+            .collect())
     }
 
     /// SPE of every row (the full residual timeseries, for scatter plots
-    /// like the paper's Figure 4).
+    /// like the paper's Figure 4) — one batch pass over shared scratch.
     pub fn spe_series(&self, x: &Mat) -> Result<Vec<f64>, SubspaceError> {
-        x.row_iter().map(|row| self.spe(row)).collect()
+        let mut out = Vec::with_capacity(x.rows());
+        self.spe_batch(x.row_iter(), &mut out)?;
+        Ok(out)
     }
 }
 

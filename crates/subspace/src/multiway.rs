@@ -11,7 +11,7 @@ use crate::ident::{identify_greedy, FlowContribution};
 use crate::qstat::ThresholdPolicy;
 use crate::SubspaceError;
 use entromine_entropy::EntropyTensor;
-use entromine_linalg::{FitStrategy, Mat, MomentAccumulator};
+use entromine_linalg::{reference_score_forced, FitStrategy, Mat, MomentAccumulator, ScorePlan};
 
 /// A fitted multiway subspace model over an entropy tensor.
 #[derive(Debug, Clone)]
@@ -22,6 +22,35 @@ pub struct MultiwayModel {
     /// model fitted on clean data can score injected rows consistently.
     divisors: [f64; 4],
     n_flows: usize,
+    /// The inner model's scoring plane with the unit-energy divisors
+    /// folded into its centering pass (`c = raw/d − μ`, bitwise identical
+    /// to normalizing first), so raw unfolded rows score allocation-free
+    /// without materializing the normalized row.
+    plan: ScorePlan,
+}
+
+/// Builds the divisor-folded scoring plane and assembles the model — the
+/// shared back half of the batch ([`MultiwayModel::fit_on_rows_with`]) and
+/// streamed ([`MultiwayFitter::finish_warm`]) construction sites.
+fn assemble(
+    model: SubspaceModel,
+    divisors: [f64; 4],
+    n_flows: usize,
+) -> Result<MultiwayModel, SubspaceError> {
+    let mut per_col = vec![0.0; 4 * n_flows];
+    for (k, &d) in divisors.iter().enumerate() {
+        per_col[k * n_flows..(k + 1) * n_flows].fill(d);
+    }
+    let plan = model
+        .pca()
+        .score_plan(model.normal_dim())?
+        .with_divisors(per_col)?;
+    Ok(MultiwayModel {
+        model,
+        divisors,
+        n_flows,
+        plan,
+    })
 }
 
 impl MultiwayModel {
@@ -102,11 +131,7 @@ impl MultiwayModel {
             }
         }
         let model = SubspaceModel::fit_with(&unfolded, dim, strategy)?;
-        Ok(MultiwayModel {
-            model,
-            divisors,
-            n_flows: p,
-        })
+        assemble(model, divisors, p)
     }
 
     /// Number of OD flows `p`.
@@ -141,10 +166,95 @@ impl MultiwayModel {
         Ok(out)
     }
 
-    /// SPE of a raw (un-normalized) unfolded row.
+    /// SPE of a raw (un-normalized) unfolded row, through the
+    /// divisor-folded scoring plane (allocation-free; the fold `raw/d − μ`
+    /// is bitwise identical to normalizing first). The
+    /// `ENTROMINE_FORCE_REFERENCE_SCORE` pin routes through
+    /// [`normalize_row`](Self::normalize_row) plus the inner model's
+    /// reference chain instead.
     pub fn spe(&self, raw: &[f64]) -> Result<f64, SubspaceError> {
-        let normalized = self.normalize_row(raw)?;
-        self.model.spe(&normalized)
+        if reference_score_forced() {
+            let normalized = self.normalize_row(raw)?;
+            return self.model.spe(&normalized);
+        }
+        self.check_width(raw)?;
+        Ok(self.plan.spe(raw)?)
+    }
+
+    /// SPEs of a batch of raw unfolded rows through the plan's batch
+    /// entry — bitwise identical to per-row [`spe`](Self::spe). `out` is
+    /// cleared first.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors from scoring, on the first offending row.
+    pub fn spe_batch<'r>(
+        &self,
+        rows: impl IntoIterator<Item = &'r [f64]>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), SubspaceError> {
+        if reference_score_forced() {
+            out.clear();
+            for raw in rows {
+                let normalized = self.normalize_row(raw)?;
+                out.push(self.model.spe(&normalized)?);
+            }
+            return Ok(());
+        }
+        self.plan.spe_batch(rows, out)?;
+        Ok(())
+    }
+
+    /// SPE and T² of one raw unfolded row from a single axis pass (see
+    /// [`SubspaceModel::spe_t2`]).
+    ///
+    /// # Errors
+    ///
+    /// Shape errors from scoring.
+    pub fn spe_t2(&self, raw: &[f64]) -> Result<(f64, f64), SubspaceError> {
+        if reference_score_forced() {
+            return Ok((self.spe(raw)?, self.t2(raw)?));
+        }
+        self.check_width(raw)?;
+        let pca = self.model.pca();
+        let floor = 1e-12 * pca.total_variance().max(1e-300);
+        Ok(self.plan.spe_t2(raw, pca.eigenvalues(), floor)?)
+    }
+
+    /// Batched [`spe_t2`](Self::spe_t2) over raw unfolded rows: one
+    /// `(SPE, T²)` pair per row appended to `out` (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Shape errors from scoring, on the first offending row.
+    pub fn spe_t2_batch<'r>(
+        &self,
+        rows: impl IntoIterator<Item = &'r [f64]>,
+        out: &mut Vec<(f64, f64)>,
+    ) -> Result<(), SubspaceError> {
+        if reference_score_forced() {
+            out.clear();
+            for raw in rows {
+                out.push((self.spe(raw)?, self.t2(raw)?));
+            }
+            return Ok(());
+        }
+        let pca = self.model.pca();
+        let floor = 1e-12 * pca.total_variance().max(1e-300);
+        self.plan
+            .spe_t2_batch(rows, pca.eigenvalues(), floor, out)?;
+        Ok(())
+    }
+
+    /// The multiway wording of the `4p` width check (the plan would report
+    /// a bare shape mismatch).
+    fn check_width(&self, raw: &[f64]) -> Result<(), SubspaceError> {
+        if raw.len() != 4 * self.n_flows {
+            return Err(SubspaceError::BadInput(
+                "row length must be 4p (one value per feature per flow)",
+            ));
+        }
+        Ok(())
     }
 
     /// Residual vector `h̃` of a raw unfolded row (in normalized units).
@@ -182,17 +292,18 @@ impl MultiwayModel {
         &mut self,
         rows: impl IntoIterator<Item = &'r [f64]>,
     ) -> Result<(), SubspaceError> {
-        let mut normalized = Vec::new();
-        for raw in rows {
-            normalized.push(self.normalize_row(raw)?);
-        }
-        if normalized.is_empty() {
+        // One divisor-folded batch pass — no normalized copies of the
+        // training window are ever materialized.
+        let mut spes = Vec::new();
+        self.spe_batch(rows, &mut spes)?;
+        if spes.is_empty() {
             return Err(SubspaceError::BadInput(
                 "empirical calibration needs at least one training row",
             ));
         }
-        self.model
-            .calibrate_with_rows(normalized.iter().map(Vec::as_slice))
+        spes.sort_by(|a, b| a.partial_cmp(b).expect("SPEs are finite"));
+        self.model.set_calibration(spes);
+        Ok(())
     }
 
     /// Structured sharpness warning for an empirical threshold at
@@ -205,8 +316,14 @@ impl MultiwayModel {
     /// Hotelling's T² of a raw unfolded row (see
     /// [`SubspaceModel::t2`](crate::SubspaceModel::t2)).
     pub fn t2(&self, raw: &[f64]) -> Result<f64, SubspaceError> {
-        let normalized = self.normalize_row(raw)?;
-        self.model.t2(&normalized)
+        if reference_score_forced() {
+            let normalized = self.normalize_row(raw)?;
+            return self.model.t2(&normalized);
+        }
+        self.check_width(raw)?;
+        let pca = self.model.pca();
+        let floor = 1e-12 * pca.total_variance().max(1e-300);
+        Ok(self.plan.t2(raw, pca.eigenvalues(), floor)?)
     }
 
     /// Scores one raw (un-normalized) unfolded row against a precomputed
@@ -235,28 +352,37 @@ impl MultiwayModel {
         })
     }
 
-    /// Detects anomalous bins across the whole tensor — a replay of
-    /// [`score_row`](Self::score_row) over every bin.
+    /// Detects anomalous bins across the whole tensor — one
+    /// [`spe_batch`](Self::spe_batch) pass, bitwise equal to replaying
+    /// [`score_row`](Self::score_row) per bin.
     pub fn detect(
         &self,
         tensor: &EntropyTensor,
         alpha: f64,
     ) -> Result<Vec<Detection>, SubspaceError> {
-        let scorer = self.scorer(alpha)?;
-        let mut out = Vec::new();
-        for bin in 0..tensor.n_bins() {
-            if let Some(d) = scorer.score(bin, &tensor.unfolded_row(bin))? {
-                out.push(d);
-            }
-        }
-        Ok(out)
+        let threshold = self.threshold(alpha)?;
+        let spes = self.spe_series(tensor)?;
+        Ok(spes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &spe)| spe > threshold)
+            .map(|(bin, &spe)| Detection {
+                bin,
+                spe,
+                threshold,
+            })
+            .collect())
     }
 
-    /// SPE of every bin (for residual scatter plots, Figure 4).
+    /// SPE of every bin (for residual scatter plots, Figure 4) — one
+    /// batch pass over shared scratch.
     pub fn spe_series(&self, tensor: &EntropyTensor) -> Result<Vec<f64>, SubspaceError> {
-        (0..tensor.n_bins())
-            .map(|bin| self.spe(&tensor.unfolded_row(bin)))
-            .collect()
+        let rows: Vec<Vec<f64>> = (0..tensor.n_bins())
+            .map(|bin| tensor.unfolded_row(bin))
+            .collect();
+        let mut out = Vec::with_capacity(rows.len());
+        self.spe_batch(rows.iter().map(Vec::as_slice), &mut out)?;
+        Ok(out)
     }
 
     /// The residual entropy 4-vector of one OD flow at one bin:
@@ -496,11 +622,7 @@ impl MultiwayFitter {
             self.strategy,
             warm.map(|prev| &prev.model),
         )?;
-        Ok(MultiwayModel {
-            model,
-            divisors,
-            n_flows: p,
-        })
+        assemble(model, divisors, p)
     }
 
     /// Removes a previously merged-in fitter's rows — the inverse of
