@@ -14,6 +14,11 @@ pub enum DiagnosisError {
     BadConfig(&'static str),
     /// Classification was asked for with invalid parameters.
     BadClassifier(&'static str),
+    /// A measurement row carried NaN or infinite values. Surfaced instead
+    /// of silently poisoning streaming moments: one NaN pushed into a
+    /// [`MomentAccumulator`](entromine_linalg::MomentAccumulator) would
+    /// corrupt every later Chan merge of the training window.
+    NonFiniteInput(&'static str),
 }
 
 impl fmt::Display for DiagnosisError {
@@ -23,6 +28,7 @@ impl fmt::Display for DiagnosisError {
             DiagnosisError::BadDataset(what) => write!(f, "bad dataset: {what}"),
             DiagnosisError::BadConfig(what) => write!(f, "bad diagnoser config: {what}"),
             DiagnosisError::BadClassifier(what) => write!(f, "bad classifier config: {what}"),
+            DiagnosisError::NonFiniteInput(what) => write!(f, "non-finite input: {what}"),
         }
     }
 }

@@ -64,6 +64,7 @@
 
 mod classify;
 mod error;
+mod fault;
 mod monitor;
 mod pipeline;
 mod report;
@@ -72,9 +73,13 @@ mod window;
 
 pub use classify::{anomaly_point_matrix, ClassifierConfig, ClusterAlgorithm};
 pub use error::DiagnosisError;
+pub use fault::{
+    BatchDelivery, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultStats, GarbageKind,
+    RowDelivery,
+};
 pub use monitor::{
-    DriftPolicy, Monitor, MonitorConfig, MonitorState, MonitorStep, RefitOutcome, RefitReport,
-    RefitTrigger, Verdict,
+    DriftPolicy, HealthReport, Monitor, MonitorConfig, MonitorState, MonitorStep, RefitOutcome,
+    RefitReport, RefitTrigger, RetryPolicy, Verdict,
 };
 pub use pipeline::{
     DetectionMethods, Diagnoser, DiagnoserConfig, Diagnosis, DiagnosisReport, FittedDiagnoser,

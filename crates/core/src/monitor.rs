@@ -9,14 +9,23 @@
 //! ```text
 //!             window reaches warmup_bins
 //!   Warmup ───────────────────────────────▶ Fitted ◀──────────┐
-//!   (absorb bins,                            │                │
-//!    nothing to score)          scheduled cadence reached,    │ model
-//!                               drift alarm-rate tripped,     │ swap
+//!   (absorb bins,                           │  ▲              │
+//!    nothing to score)                      │  │ model swap   │ model
+//!                          staleness budget │  │ (resets      │ swap
+//!                          exceeded         │  │  staleness)  │
+//!                                           ▼  │              │
+//!                                         Degraded            │
+//!                                  (keeps scoring; verdicts   │
+//!                                   flagged stale)            │
+//!                                           │                 │
+//!                               scheduled cadence reached,    │
+//!                               drift alarm-rate tripped,     │
 //!                               or refit_now()                │
-//!                                            ▼                │
+//!                                           ▼                 │
 //!                                        Refitting ───────────┘
 //!                                   (window.fit; on failure the
-//!                                    old model keeps serving)
+//!                                    old model keeps serving and
+//!                                    the retry backoff grows)
 //! ```
 //!
 //! * **Warmup** — bins accumulate into the [`TrainingWindow`]; there is
@@ -47,6 +56,26 @@
 //!   drift signal, and refitting on the window (which already contains
 //!   the post-drift bins, with genuinely anomalous ones excluded by the
 //!   trimming rounds) re-centers the model.
+//!
+//! Three more mechanisms make the lifecycle survive operational faults
+//! instead of merely clean drift:
+//!
+//! * **Quarantine** — a bin whose rows carry NaN or infinite values is
+//!   never scored (a NaN makes every threshold comparison false, i.e. a
+//!   silent *Clean*) and never absorbed (one NaN poisons every later Chan
+//!   merge of the window). It is counted, reported as
+//!   [`Verdict::Quarantined`], and the lifecycle moves on.
+//! * **Retry backoff** — a failed refit leaves the old model serving and
+//!   schedules the next automatic attempt after a bounded
+//!   exponential-in-bins backoff ([`RetryPolicy`]): consecutive failures
+//!   mean the window is still unhealthy, and re-burning a full
+//!   `O(window·p²)` fit every chunk learns nothing new.
+//! * **Degraded serving** — when the serving model's age (bins observed
+//!   since the last successful swap) exceeds the configured staleness
+//!   budget, the monitor enters [`MonitorState::Degraded`]: it keeps
+//!   scoring (a stale verdict beats none), flags every verdict via
+//!   [`MonitorStep::stale`], and surfaces the full picture through
+//!   [`Monitor::health`].
 
 use crate::pipeline::{DiagnoserConfig, Diagnosis, FittedDiagnoser};
 use crate::stream::{score_rows_against, thresholds_for};
@@ -77,6 +106,72 @@ impl Default for DriftPolicy {
     }
 }
 
+/// Bounded exponential backoff for refit attempts after a failure.
+///
+/// A failed refit means the window is unhealthy (degenerate moments, a
+/// poisoned chunk that slipped past ingest, too few usable bins). The
+/// trigger condition that fired it is usually still true on the next bin,
+/// so without a backoff the monitor would re-burn a full `O(window·p²)`
+/// fit per bin. The first retry waits `initial_bins`; each consecutive
+/// failure multiplies the wait by `growth`, capped at `max_bins` so a
+/// long outage can never push the next attempt arbitrarily far out. Any
+/// successful swap resets the sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Backoff after the first failure, in bins. `0` means one window
+    /// chunk ([`MonitorConfig::chunk_bins`]) — the roll granularity at
+    /// which the window's content materially changes.
+    pub initial_bins: usize,
+    /// Multiplier applied per additional consecutive failure (`1` keeps
+    /// the legacy fixed cadence). Must be at least 1.
+    pub growth: u32,
+    /// Hard ceiling on the backoff, in bins. `0` means one window
+    /// capacity ([`MonitorConfig::window_bins`]) — by then the entire
+    /// window content has turned over.
+    pub max_bins: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            initial_bins: 0,
+            growth: 2,
+            max_bins: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff after `consecutive_failures` (≥ 1) failures in a row,
+    /// with the `0`-sentinels resolved against the monitor's chunk and
+    /// window sizes. Saturating, and never below 1 bin.
+    fn backoff_bins(
+        &self,
+        consecutive_failures: u32,
+        chunk_bins: usize,
+        window_bins: usize,
+    ) -> usize {
+        let base = if self.initial_bins == 0 {
+            chunk_bins.max(1)
+        } else {
+            self.initial_bins
+        };
+        let cap = if self.max_bins == 0 {
+            window_bins.max(1)
+        } else {
+            self.max_bins
+        };
+        let mut backoff = base;
+        for _ in 1..consecutive_failures {
+            backoff = backoff.saturating_mul(self.growth.max(1) as usize);
+            if backoff >= cap {
+                break;
+            }
+        }
+        backoff.clamp(1, cap.max(1))
+    }
+}
+
 /// Configuration of a [`Monitor`].
 #[derive(Debug, Clone, Copy)]
 pub struct MonitorConfig {
@@ -98,6 +193,19 @@ pub struct MonitorConfig {
     pub refit_interval: Option<usize>,
     /// Drift-triggered refit policy; `None` disables the drift trigger.
     pub drift: Option<DriftPolicy>,
+    /// Backoff schedule for automatic refit attempts after a failure.
+    pub retry: RetryPolicy,
+    /// Staleness budget in observed bins: when the serving model is older
+    /// than this (no successful swap for more than `staleness_budget`
+    /// bins), the monitor enters [`MonitorState::Degraded`] — it keeps
+    /// scoring but flags verdicts as stale. `None` disables the budget.
+    ///
+    /// The default is `None` because staleness is already bounded by the
+    /// scheduled refit cadence in a healthy deployment; set it to a small
+    /// multiple of [`refit_interval`](Self::refit_interval) to make
+    /// *unhealthy* deployments (refits failing for a whole backoff chain)
+    /// visible to operators and downstream consumers.
+    pub staleness_budget: Option<usize>,
 }
 
 impl Default for MonitorConfig {
@@ -109,6 +217,8 @@ impl Default for MonitorConfig {
             chunk_bins: 72,
             refit_interval: Some(288),
             drift: Some(DriftPolicy::default()),
+            retry: RetryPolicy::default(),
+            staleness_budget: None,
         }
     }
 }
@@ -120,6 +230,11 @@ pub enum MonitorState {
     Warmup,
     /// A model is live and scoring every bin.
     Fitted,
+    /// A model is live and scoring every bin, but it is older than the
+    /// configured staleness budget (refits have been failing or blocked
+    /// for that long). Serving continues — a stale verdict beats none —
+    /// with every verdict flagged via [`MonitorStep::stale`].
+    Degraded,
     /// A refit is in progress (visible to observers only while
     /// [`observe_rows`](Monitor::observe_rows) executes one; the swap
     /// completes before the call returns).
@@ -185,6 +300,11 @@ pub enum Verdict {
     Clean,
     /// Scored anomalous.
     Anomalous(Box<Diagnosis>),
+    /// The bin's rows carried NaN or infinite values: it was neither
+    /// scored (a NaN silently defeats every threshold comparison) nor
+    /// absorbed into the training window (one NaN poisons every later
+    /// Chan merge). Counted in [`Monitor::quarantined_bins`].
+    Quarantined,
 }
 
 /// The full result of observing one bin: the verdict, plus the refit (if
@@ -195,6 +315,12 @@ pub struct MonitorStep {
     pub bin: usize,
     /// The monitor's judgement of the bin.
     pub verdict: Verdict,
+    /// `true` when the bin was judged by a model older than the
+    /// configured staleness budget (the monitor was
+    /// [`Degraded`](MonitorState::Degraded) at scoring time): the verdict
+    /// is still the best available answer, but downstream consumers
+    /// should treat it with reduced confidence.
+    pub stale: bool,
     /// A refit that completed after this bin was scored (the very next
     /// bin is judged by the new model).
     pub refit: Option<RefitReport>,
@@ -210,6 +336,53 @@ impl MonitorStep {
     }
 }
 
+/// One operator-readable snapshot of a monitor's serving health: the
+/// lifecycle state, the quarantine and refit-failure counters, the
+/// model's age against its staleness budget, and the retry backoff still
+/// pending. Cheap to produce (copies of counters — no scoring state is
+/// touched), so it can be polled every bin.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Current lifecycle state.
+    pub state: MonitorState,
+    /// Bins observed (scored, absorbed during warmup, or quarantined).
+    pub bins_observed: u64,
+    /// Bins scored against a model.
+    pub bins_scored: u64,
+    /// Bins refused for non-finite rows — never scored, never absorbed.
+    pub quarantined_bins: u64,
+    /// Anomalous verdicts emitted.
+    pub detections: u64,
+    /// Completed model swaps (the warmup fit included).
+    pub refits: u64,
+    /// Refit attempts that failed (the old model kept serving).
+    pub failed_refits: u64,
+    /// Failures since the last successful swap; `0` when healthy. This is
+    /// the exponent of the retry backoff.
+    pub consecutive_refit_failures: u32,
+    /// Bins until automatic triggers may attempt the next refit (`0`: no
+    /// backoff pending).
+    pub backoff_remaining_bins: usize,
+    /// Age of the serving model: bins observed since the last successful
+    /// swap (`0` during warmup).
+    pub model_age_bins: usize,
+    /// The configured staleness budget ([`MonitorConfig::staleness_budget`]).
+    pub staleness_budget: Option<usize>,
+    /// `true` when the model's age exceeds the staleness budget — the
+    /// monitor is serving in [`MonitorState::Degraded`].
+    pub degraded: bool,
+    /// The error of the most recent *failed* refit since the last
+    /// successful swap, if any.
+    pub last_refit_error: Option<DiagnosisError>,
+}
+
+/// How many recent [`RefitReport`]s a monitor retains for
+/// [`Monitor::recent_refits`]. Bounded so months of uptime cannot grow
+/// the monitor's working set; 16 comfortably covers the longest failure
+/// chain a capped exponential backoff can produce before the window has
+/// fully turned over.
+const RECENT_REFITS: usize = 16;
+
 /// A lifecycle-managed streaming monitor: warmup, rolling sliding-window
 /// refits, atomic model swaps between bins — warmup, scheduled and
 /// drift-triggered refits, failure-tolerant swaps.
@@ -222,17 +395,31 @@ pub struct Monitor {
     thresholds: (f64, f64, f64),
     /// Scored bins since the live model was fitted.
     since_fit: usize,
+    /// Bins observed since the last successful model swap — the model's
+    /// age measured against the staleness budget. Unlike `since_fit`,
+    /// quarantined bins age the model too: during a garbage storm nothing
+    /// is scored, yet the model keeps falling behind the traffic.
+    since_swap: usize,
     /// Bins to wait after a *failed* refit before automatic triggers may
-    /// try again (one window chunk — the roll granularity at which the
-    /// window's content materially changes).
+    /// try again, produced by the [`RetryPolicy`] backoff schedule.
     refit_cooldown: usize,
+    /// Failed refits since the last successful swap — the exponent of
+    /// the retry backoff.
+    consecutive_failures: u32,
     /// Ring of recent scored-bin outcomes (true = alarmed) feeding the
     /// drift trigger.
     recent: VecDeque<bool>,
+    /// Bounded ring of the most recent refit reports (newest last), so
+    /// operators can see the failure chains the backoff policy acts on.
+    recent_refits: VecDeque<RefitReport>,
+    /// The most recent failed refit's error since the last swap.
+    last_refit_error: Option<DiagnosisError>,
     bins_observed: u64,
     bins_scored: u64,
+    quarantined: u64,
     detections: u64,
     refits: u64,
+    failed_refits: u64,
     /// Row scratch recycled across [`observe_bin`](Self::observe_bin)
     /// calls: `(bytes, packets, unfolded entropy)` — no per-bin
     /// allocations on the serve path.
@@ -276,6 +463,16 @@ impl Monitor {
                 "scheduled refit interval must be at least 1 bin",
             ));
         }
+        if config.retry.growth == 0 {
+            return Err(DiagnosisError::BadConfig(
+                "retry backoff growth factor must be at least 1",
+            ));
+        }
+        if config.staleness_budget == Some(0) {
+            return Err(DiagnosisError::BadConfig(
+                "staleness budget must be at least 1 bin",
+            ));
+        }
         if let Some(drift) = config.drift {
             if drift.window == 0 {
                 return Err(DiagnosisError::BadConfig(
@@ -296,12 +493,18 @@ impl Monitor {
             fitted: None,
             thresholds: (0.0, 0.0, 0.0),
             since_fit: 0,
+            since_swap: 0,
             refit_cooldown: 0,
+            consecutive_failures: 0,
             recent: VecDeque::new(),
+            recent_refits: VecDeque::new(),
+            last_refit_error: None,
             bins_observed: 0,
             bins_scored: 0,
+            quarantined: 0,
             detections: 0,
             refits: 0,
+            failed_refits: 0,
             row_scratch: (Vec::new(), Vec::new(), Vec::new()),
         })
     }
@@ -367,6 +570,57 @@ impl Monitor {
         self.refits
     }
 
+    /// Bins refused for non-finite rows — never scored, never absorbed.
+    pub fn quarantined_bins(&self) -> u64 {
+        self.quarantined
+    }
+
+    /// The most recent refit reports, oldest first (bounded ring of the
+    /// last [`RECENT_REFITS`](Monitor::recent_refits) attempts, successes
+    /// and failures alike) — the failure chains the retry backoff acts
+    /// on, visible to operators in one place.
+    pub fn recent_refits(&self) -> impl Iterator<Item = &RefitReport> {
+        self.recent_refits.iter()
+    }
+
+    /// One operator-readable snapshot of serving health: state, counters,
+    /// model age against the staleness budget, pending retry backoff.
+    pub fn health(&self) -> HealthReport {
+        HealthReport {
+            state: self.state,
+            bins_observed: self.bins_observed,
+            bins_scored: self.bins_scored,
+            quarantined_bins: self.quarantined,
+            detections: self.detections,
+            refits: self.refits,
+            failed_refits: self.failed_refits,
+            consecutive_refit_failures: self.consecutive_failures,
+            backoff_remaining_bins: self.refit_cooldown,
+            model_age_bins: self.since_swap,
+            staleness_budget: self.config.staleness_budget,
+            degraded: self.model_is_stale(),
+            last_refit_error: self.last_refit_error.clone(),
+        }
+    }
+
+    /// Whether the serving model has outlived the staleness budget.
+    fn model_is_stale(&self) -> bool {
+        match (self.fitted.as_ref(), self.config.staleness_budget) {
+            (Some(_), Some(budget)) => self.since_swap > budget,
+            _ => false,
+        }
+    }
+
+    /// Re-derives the resting state from the serving model and its age —
+    /// called whenever either may have changed.
+    fn update_serving_state(&mut self) {
+        self.state = match (self.fitted.is_some(), self.model_is_stale()) {
+            (false, _) => MonitorState::Warmup,
+            (true, false) => MonitorState::Fitted,
+            (true, true) => MonitorState::Degraded,
+        };
+    }
+
     /// Observes one finalized bin from the ingest plane. The measurement
     /// rows are materialized into recycled scratch, so a warm monitor
     /// serves bins without per-bin row allocations.
@@ -392,6 +646,35 @@ impl Monitor {
         entropy_raw: &[f64],
     ) -> Result<MonitorStep, DiagnosisError> {
         self.bins_observed += 1;
+        // Quarantine gate: a non-finite row can neither be scored (NaN
+        // defeats every threshold comparison — a silent Clean) nor
+        // absorbed (one NaN poisons every later Chan merge of the
+        // window). Refuse it up front, count it, and keep the lifecycle
+        // moving — the backoff still drains and pending triggers still
+        // fire, so a garbage storm cannot stall recovery.
+        let finite = |row: &[f64]| row.iter().all(|v| v.is_finite());
+        if !finite(bytes_row) || !finite(packets_row) || !finite(entropy_raw) {
+            self.quarantined += 1;
+            if self.fitted.is_some() {
+                self.since_swap += 1;
+            }
+            let stale = self.model_is_stale();
+            self.refit_cooldown = self.refit_cooldown.saturating_sub(1);
+            let refit = self
+                .pending_trigger()
+                .map(|trigger| self.run_refit(trigger));
+            self.update_serving_state();
+            return Ok(MonitorStep {
+                bin,
+                verdict: Verdict::Quarantined,
+                stale,
+                refit,
+            });
+        }
+        if self.fitted.is_some() {
+            self.since_swap += 1;
+        }
+        let stale = self.model_is_stale();
         let verdict = match &self.fitted {
             None => Verdict::Warmup {
                 remaining: self
@@ -433,9 +716,11 @@ impl Monitor {
         let refit = self
             .pending_trigger()
             .map(|trigger| self.run_refit(trigger));
+        self.update_serving_state();
         Ok(MonitorStep {
             bin,
             verdict,
+            stale,
             refit,
         })
     }
@@ -493,7 +778,10 @@ impl Monitor {
                 self.thresholds = thresholds;
                 self.refits += 1;
                 self.since_fit = 0;
+                self.since_swap = 0;
                 self.refit_cooldown = 0;
+                self.consecutive_failures = 0;
+                self.last_refit_error = None;
                 // The drift estimate restarts: alarms under the old model
                 // say nothing about the new one.
                 self.recent.clear();
@@ -509,9 +797,18 @@ impl Monitor {
             Err(e) => {
                 // Back off: without this, the still-true trigger condition
                 // would re-run a full window fit on every subsequent bin.
-                // One chunk of fresh bins is the smallest change that can
-                // alter the outcome (the window rolls in chunk granules).
-                self.refit_cooldown = self.config.chunk_bins.max(1);
+                // The wait grows exponentially with consecutive failures
+                // (bounded by the policy's cap): a window that failed to
+                // fit twice in a row needs substantially fresher content,
+                // not another attempt one chunk later.
+                self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                self.failed_refits += 1;
+                self.refit_cooldown = self.config.retry.backoff_bins(
+                    self.consecutive_failures,
+                    self.config.chunk_bins,
+                    self.config.window_bins,
+                );
+                self.last_refit_error = Some(e.clone());
                 RefitReport {
                     trigger,
                     window_bins,
@@ -522,11 +819,11 @@ impl Monitor {
                 }
             }
         };
-        self.state = if self.fitted.is_some() {
-            MonitorState::Fitted
-        } else {
-            MonitorState::Warmup
-        };
+        if self.recent_refits.len() >= RECENT_REFITS {
+            self.recent_refits.pop_front();
+        }
+        self.recent_refits.push_back(report.clone());
+        self.update_serving_state();
         report
     }
 }
@@ -569,6 +866,8 @@ mod tests {
                 window: 8,
                 alarm_fraction: 0.5,
             }),
+            retry: RetryPolicy::default(),
+            staleness_budget: None,
         }
     }
 
@@ -656,14 +955,10 @@ mod tests {
         assert_eq!(failing.state(), MonitorState::Fitted);
     }
 
-    #[test]
-    fn failing_refits_retry_on_chunk_cadence_until_the_window_heals() {
-        // A NaN-poisoned bin makes every window fit fail (the covariance
-        // stops being symmetric under NaN comparison) until the poisoned
-        // chunk rolls out. The monitor must keep serving the old model,
-        // retry at most once per chunk of fresh bins — never once per
-        // bin — and recover by itself once the window has healed.
-        let config = MonitorConfig {
+    /// The degenerate-window config shared by the garbage-storm tests:
+    /// tiny window, 4-bin chunks, scheduled refits every 4 scored bins.
+    fn tiny_config() -> MonitorConfig {
+        MonitorConfig {
             diagnoser: DiagnoserConfig {
                 dim: entromine_subspace::DimSelection::Fixed(2),
                 refit_rounds: 0,
@@ -674,12 +969,64 @@ mod tests {
             chunk_bins: 4,
             refit_interval: Some(4),
             drift: None,
-        };
-        let mut m = Monitor::new(4, config).unwrap();
-        let mut attempts: Vec<(usize, bool)> = Vec::new();
+            retry: RetryPolicy::default(),
+            staleness_budget: None,
+        }
+    }
+
+    #[test]
+    fn non_finite_bins_are_quarantined_and_cannot_flip_the_model() {
+        // The regression the quarantine exists for: a NaN row used to
+        // flow straight into the window's moment accumulators, poisoning
+        // every later Chan merge and flipping every subsequent refit into
+        // failure. Now it must be refused at the door — the monitor that
+        // saw the NaN bin stays bitwise identical to one that never did.
+        let config = tiny_config();
+        let mut poisoned = Monitor::new(4, config).unwrap();
+        let mut clean = Monitor::new(4, config).unwrap();
+        let mut quarantined_steps = 0;
         for bin in 0..32 {
+            let (b, p, e) = rows(4, bin, 0.0);
+            clean.observe_rows(bin, &b, &p, &e).unwrap();
+            // The poisoned monitor additionally sees a garbage bin before
+            // every real one: NaN, +Inf, -Inf rows in rotation.
+            let bad = match bin % 3 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            };
+            let step = poisoned
+                .observe_rows(1000 + bin, &[bad; 4], &[bad; 4], &[bad; 16])
+                .unwrap();
+            assert!(matches!(step.verdict, Verdict::Quarantined));
+            quarantined_steps += 1;
+            poisoned.observe_rows(bin, &b, &p, &e).unwrap();
+        }
+        assert_eq!(poisoned.quarantined_bins(), quarantined_steps);
+        assert_eq!(clean.quarantined_bins(), 0);
+        // Same refit history, same window content, bitwise-equal serving
+        // thresholds: the garbage changed nothing but the counters.
+        assert_eq!(poisoned.refits(), clean.refits());
+        assert_eq!(poisoned.window().bins(), clean.window().bins());
+        assert_eq!(poisoned.thresholds(), clean.thresholds());
+        assert_eq!(poisoned.state(), MonitorState::Fitted);
+        // Quarantined bins were never scored.
+        assert_eq!(poisoned.bins_scored(), clean.bins_scored());
+    }
+
+    #[test]
+    fn failing_refits_back_off_exponentially_until_the_window_heals() {
+        // A garbage bin of huge-but-finite values passes the quarantine
+        // gate (it is real, scorable data — and it alarms) but overflows
+        // the window's comoments to Inf, so every fit fails until the
+        // poisoned chunk rolls out. The monitor must keep serving the old
+        // model and retry on the RetryPolicy's doubling cadence — 4, 8,
+        // then 16 bins (capped at the window) — never once per bin.
+        let mut m = Monitor::new(4, tiny_config()).unwrap();
+        let mut attempts: Vec<(usize, bool)> = Vec::new();
+        for bin in 0..44 {
             let (b, p, e) = if bin == 8 {
-                (vec![f64::NAN; 4], vec![f64::NAN; 4], vec![f64::NAN; 16])
+                (vec![1e300; 4], vec![1e300; 4], vec![1e300; 16])
             } else {
                 rows(4, bin, 0.0)
             };
@@ -688,24 +1035,76 @@ mod tests {
                 attempts.push((bin, matches!(r.outcome, RefitOutcome::Swapped)));
             }
         }
-        // Warmup fit at bin 7; scheduled refits every 4 scored bins fail
-        // while the NaN chunk (bins 8..12) is in the window, retrying on
-        // the 4-bin cooldown cadence, and succeed once it rolled out.
+        // Warmup fit at bin 7; the scheduled refit at bin 11 hits the
+        // poisoned window and fails. Backoffs double: 4 bins (retry at
+        // 15, fails), 8 bins (retry at 23, fails — the poisoned chunk
+        // 8..12 only rolls out at bin 24), then 16 bins: the retry at 39
+        // sees a healed window and swaps.
         let failed: Vec<usize> = attempts
             .iter()
             .filter(|(_, ok)| !ok)
             .map(|&(bin, _)| bin)
             .collect();
-        assert_eq!(failed, vec![11, 15, 19, 23], "one retry per chunk");
+        assert_eq!(failed, vec![11, 15, 23], "doubling backoff cadence");
         let recovered = attempts
             .iter()
             .find(|&&(bin, ok)| ok && bin > 7)
             .expect("monitor must recover after the poisoned chunk rolls out");
-        assert_eq!(recovered.0, 27);
+        assert_eq!(recovered.0, 39);
         assert_eq!(m.state(), MonitorState::Fitted);
+        let health = m.health();
+        assert_eq!(health.failed_refits, 3);
+        assert_eq!(health.consecutive_refit_failures, 0, "reset on swap");
+        assert!(health.last_refit_error.is_none(), "cleared on swap");
         // The old model never stopped serving: every bin got a verdict.
-        assert_eq!(m.bins_observed(), 32);
-        assert_eq!(m.bins_scored(), 32 - 8);
+        assert_eq!(m.bins_observed(), 44);
+        assert_eq!(m.bins_scored(), 44 - 8);
+        // The refit ring shows the whole failure chain, oldest first:
+        // warmup swap, three failures, healing swap at 39, and the
+        // scheduled swap at 43 (cadence restarted by the swap).
+        let ring: Vec<bool> = m
+            .recent_refits()
+            .map(|r| matches!(r.outcome, RefitOutcome::Swapped))
+            .collect();
+        assert_eq!(ring, vec![true, false, false, false, true, true]);
+    }
+
+    #[test]
+    fn stale_model_degrades_but_keeps_scoring() {
+        // Refits kept failing past the staleness budget: the monitor must
+        // enter Degraded, flag verdicts stale, and recover to Fitted on
+        // the next successful swap.
+        let mut config = tiny_config();
+        config.staleness_budget = Some(12);
+        let mut m = Monitor::new(4, config).unwrap();
+        let mut degraded_bins: Vec<usize> = Vec::new();
+        let mut stale_verdicts = 0u64;
+        for bin in 0..44 {
+            let (b, p, e) = if bin == 8 {
+                (vec![1e300; 4], vec![1e300; 4], vec![1e300; 16])
+            } else {
+                rows(4, bin, 0.0)
+            };
+            let step = m.observe_rows(bin, &b, &p, &e).unwrap();
+            if m.state() == MonitorState::Degraded {
+                degraded_bins.push(bin);
+            }
+            if step.stale {
+                assert!(!matches!(step.verdict, Verdict::Warmup { .. }));
+                stale_verdicts += 1;
+            }
+        }
+        // The warmup model swaps at bin 7; with every refit failing, its
+        // age exceeds the 12-bin budget at bin 20 and the monitor serves
+        // Degraded until the healing swap at bin 39.
+        assert_eq!(degraded_bins.first(), Some(&20));
+        assert_eq!(degraded_bins.last(), Some(&38));
+        assert!(stale_verdicts > 0, "degraded bins carry stale verdicts");
+        assert_eq!(m.state(), MonitorState::Fitted, "recovered after swap");
+        // The healing swap at 39 restarted the cadence; the scheduled
+        // swap at bin 43 (the last bin) left a fresh model serving.
+        assert_eq!(m.health().model_age_bins, 0);
+        assert!(!m.health().degraded);
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub(crate) fn thresholds_for(
 /// stored rows through that wrapper, and the rolling
 /// [`Monitor`](crate::Monitor) calls it against whichever model is live —
 /// one body, so none of the three can drift apart.
+///
+/// Non-finite rows are refused with [`DiagnosisError::NonFiniteInput`]:
+/// a NaN anywhere in a row makes every SPE comparison false, so the bin
+/// would otherwise score *Clean* — the worst possible answer for corrupt
+/// input. (The rolling monitor quarantines such bins before ever calling
+/// this; the frozen scorer surfaces the error to its caller.)
 pub(crate) fn score_rows_against(
     fitted: &FittedDiagnoser,
     thresholds: (f64, f64, f64),
@@ -63,6 +69,12 @@ pub(crate) fn score_rows_against(
     packets_row: &[f64],
     entropy_raw: &[f64],
 ) -> Result<Option<Diagnosis>, DiagnosisError> {
+    let finite = |row: &[f64]| row.iter().all(|v| v.is_finite());
+    if !finite(bytes_row) || !finite(packets_row) || !finite(entropy_raw) {
+        return Err(DiagnosisError::NonFiniteInput(
+            "measurement rows must be finite to score",
+        ));
+    }
     let (t_bytes, t_packets, t_entropy) = thresholds;
     let bytes_spe = fitted.bytes_model().spe(bytes_row)?;
     let packets_spe = fitted.packets_model().spe(packets_row)?;
@@ -304,6 +316,25 @@ mod tests {
             .score_rows(0, &mean_bytes, &mean_packets, &raw_entropy)
             .unwrap();
         assert!(out.is_none());
+    }
+
+    #[test]
+    fn non_finite_rows_error_instead_of_scoring_clean() {
+        // A NaN in any row makes every `spe > threshold` comparison
+        // false, so a corrupt bin would silently score Clean — the
+        // scorer must refuse it instead.
+        let d = dataset_with_scan(4);
+        let fitted = Diagnoser::default().fit(&d).unwrap();
+        let mut streaming = fitted.streaming(0.999).unwrap();
+        let p = d.n_flows();
+        for bad in [f64::NAN, f64::INFINITY] {
+            let mut bytes = vec![1.0; p];
+            bytes[0] = bad;
+            assert!(matches!(
+                streaming.score_rows(0, &bytes, &vec![1.0; p], &vec![1.0; 4 * p]),
+                Err(DiagnosisError::NonFiniteInput(_))
+            ));
+        }
     }
 
     #[test]

@@ -223,7 +223,12 @@ impl TrainingWindow {
     ///
     /// # Errors
     ///
-    /// `BadDataset` on a row-length mismatch.
+    /// `BadDataset` on a row-length mismatch; `NonFiniteInput` when any
+    /// row carries a NaN or infinite value. The non-finite rejection
+    /// happens before any chunk state is touched: one absorbed NaN would
+    /// silently poison the chunk's moments and every later Chan merge,
+    /// making **every** subsequent fit of this window fail until the
+    /// poisoned chunk rolls out.
     pub fn push_bin(
         &mut self,
         bin: usize,
@@ -235,6 +240,12 @@ impl TrainingWindow {
         if bytes_row.len() != p || packets_row.len() != p || entropy_raw.len() != 4 * p {
             return Err(DiagnosisError::BadDataset(
                 "window rows must be p, p, and 4p long",
+            ));
+        }
+        let finite = |row: &[f64]| row.iter().all(|v| v.is_finite());
+        if !finite(bytes_row) || !finite(packets_row) || !finite(entropy_raw) {
+            return Err(DiagnosisError::NonFiniteInput(
+                "window rows must be finite; quarantine NaN/Inf bins upstream",
             ));
         }
         let need_new = self
@@ -529,6 +540,43 @@ mod tests {
         assert!(w.push_bin(0, &[1.0; 2], &[1.0; 3], &[1.0; 12]).is_err());
         assert!(w.push_bin(0, &[1.0; 3], &[1.0; 3], &[1.0; 11]).is_err());
         assert!(w.push_bin(0, &[1.0; 3], &[1.0; 3], &[1.0; 12]).is_ok());
+    }
+
+    #[test]
+    fn non_finite_rows_are_rejected_before_touching_the_window() {
+        let mut w = TrainingWindow::new(3, 8, 4).unwrap();
+        feed(&mut w, 0..5, 7);
+        let pristine = w.clone();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut bytes = vec![1.0; 3];
+            bytes[1] = bad;
+            assert!(matches!(
+                w.push_bin(5, &bytes, &[1.0; 3], &[1.0; 12]),
+                Err(DiagnosisError::NonFiniteInput(_))
+            ));
+            let mut entropy = vec![1.0; 12];
+            entropy[7] = bad;
+            assert!(matches!(
+                w.push_bin(5, &[1.0; 3], &[1.0; 3], &entropy),
+                Err(DiagnosisError::NonFiniteInput(_))
+            ));
+        }
+        // The rejected pushes left nothing behind: same bins, and a fit
+        // of the window is bit-identical to one that never saw them.
+        assert_eq!(w.len(), pristine.len());
+        assert_eq!(w.bins(), pristine.bins());
+        let config = DiagnoserConfig {
+            dim: entromine_subspace::DimSelection::Fixed(1),
+            refit_rounds: 0,
+            ..Default::default()
+        };
+        let fa = w.fit(&config).unwrap();
+        let fb = pristine.fit(&config).unwrap();
+        let probe = vec![1.5; 3];
+        assert_eq!(
+            fa.bytes_model().spe(&probe).unwrap(),
+            fb.bytes_model().spe(&probe).unwrap()
+        );
     }
 
     #[test]

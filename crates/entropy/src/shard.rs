@@ -173,6 +173,9 @@ pub struct ShardedGridBuilder<D: DistributionAccumulator = FeatureHistogram> {
     /// Late events dropped (counted by the coordinator on both the
     /// single-event and the batch path).
     late_events: u64,
+    /// Offers refused by the far-future horizon bound, mirroring the
+    /// serial builder's counter (a refused batch counts once).
+    rejected_events: u64,
     finalized_bins: u64,
     /// Per-shard `(rank, index)` sort-key buffers, kept across batches so
     /// a steady feed stops paying one allocation per shard per batch.
@@ -256,6 +259,7 @@ impl<D: DistributionAccumulator> ShardedGridBuilder<D> {
             watermark: 0,
             next_emit: 0,
             late_events: 0,
+            rejected_events: 0,
             finalized_bins: 0,
             scratch,
             scratch_reuse: true,
@@ -322,6 +326,16 @@ impl<D: DistributionAccumulator> ShardedGridBuilder<D> {
         self.late_events
     }
 
+    /// Offers refused by the far-future horizon sanity bound
+    /// ([`StreamError::BeyondHorizon`]); semantics match
+    /// [`StreamingGridBuilder::rejected_events`].
+    ///
+    /// [`StreamingGridBuilder::rejected_events`]:
+    ///     crate::StreamingGridBuilder::rejected_events
+    pub fn rejected_events(&self) -> u64 {
+        self.rejected_events
+    }
+
     /// Bins finalized so far.
     pub fn finalized_bins(&self) -> u64 {
         self.finalized_bins
@@ -345,6 +359,7 @@ impl<D: DistributionAccumulator> ShardedGridBuilder<D> {
         }
         let horizon_end = self.next_emit.saturating_add(self.config.horizon_bins);
         if bin >= horizon_end {
+            self.rejected_events += 1;
             return Err(StreamError::BeyondHorizon { bin, horizon_end });
         }
         Ok(Some(bin))
@@ -420,11 +435,19 @@ impl<D: DistributionAccumulator> ShardedGridBuilder<D> {
         let per_shard = &mut self.scratch;
         let shard_ix = &self.shard_ix;
         let local_ix = &self.local_ix;
-        let late = combine::validate_batch(batch, &adm, |idx, flow, bin| {
+        let late = match combine::validate_batch(batch, &adm, |idx, flow, bin| {
             let s = shard_ix[flow] as usize;
             let rank = ((bin - next_emit) * widths[s] + local_ix[flow] as usize) as u64;
             per_shard[s].push((rank, idx));
-        })?;
+        }) {
+            Ok(late) => late,
+            Err(e) => {
+                if matches!(e, StreamError::BeyondHorizon { .. }) {
+                    self.rejected_events += 1;
+                }
+                return Err(e);
+            }
+        };
         // The batch validated end to end: only now does any state change.
         self.late_events += late;
 
@@ -660,6 +683,9 @@ mod tests {
             b.offer_packets(&[(0, pkt(1, 80, u64::MAX))]),
             Err(StreamError::BeyondHorizon { .. })
         ));
+        assert_eq!(b.rejected_events(), 1);
+        assert!(b.offer_packet(0, &pkt(2, 80, u64::MAX)).is_err());
+        assert_eq!(b.rejected_events(), 2);
     }
 
     #[test]

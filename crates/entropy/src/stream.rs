@@ -275,6 +275,9 @@ pub struct StreamingGridBuilder<D: DistributionAccumulator = FeatureHistogram> {
     next_emit: usize,
     /// Events dropped because their bin was already sealed.
     late_events: u64,
+    /// Offers refused by the far-future horizon sanity bound (a refused
+    /// batch counts once — nothing from it was absorbed).
+    rejected_events: u64,
     /// Bins emitted so far.
     finalized_bins: u64,
     /// Per-flow, per-feature distinct counts observed in the last
@@ -322,6 +325,7 @@ impl<D: DistributionAccumulator> StreamingGridBuilder<D> {
             watermark: 0,
             next_emit: 0,
             late_events: 0,
+            rejected_events: 0,
             finalized_bins: 0,
             size_hints,
         })
@@ -357,6 +361,16 @@ impl<D: DistributionAccumulator> StreamingGridBuilder<D> {
     /// Events dropped because they arrived after their bin sealed.
     pub fn late_events(&self) -> u64 {
         self.late_events
+    }
+
+    /// Offers refused because an event's timestamp lay beyond the
+    /// far-future horizon sanity bound ([`StreamError::BeyondHorizon`]).
+    /// A refused batch counts once: batch validation is atomic, so
+    /// nothing from it was absorbed. Lets an operator distinguish a
+    /// clock-skewed exporter (this counter climbing) from plain late
+    /// arrivals ([`late_events`](Self::late_events)).
+    pub fn rejected_events(&self) -> u64 {
+        self.rejected_events
     }
 
     /// Bins finalized so far.
@@ -429,7 +443,15 @@ impl<D: DistributionAccumulator> StreamingGridBuilder<D> {
         };
         let stride = self.config.n_flows;
         let next_emit = self.next_emit;
-        let shape = combine::validate_grouped(batch, &adm, stride)?;
+        let shape = match combine::validate_grouped(batch, &adm, stride) {
+            Ok(shape) => shape,
+            Err(e) => {
+                if matches!(e, StreamError::BeyondHorizon { .. }) {
+                    self.rejected_events += 1;
+                }
+                return Err(e);
+            }
+        };
         // The batch validated end to end: only now does any state change.
         self.late_events += shape.late;
         let mut grid = SerialGrid {
@@ -473,6 +495,7 @@ impl<D: DistributionAccumulator> StreamingGridBuilder<D> {
         }
         let horizon_end = self.next_emit.saturating_add(self.config.horizon_bins);
         if bin >= horizon_end {
+            self.rejected_events += 1;
             return Err(StreamError::BeyondHorizon { bin, horizon_end });
         }
         let params = &self.params;
@@ -683,9 +706,14 @@ mod tests {
             b.offer_packet(0, &pkt(2, 80, u64::MAX)),
             Err(StreamError::BeyondHorizon { .. })
         ));
+        assert_eq!(b.rejected_events(), 1);
+        // The batch path counts a refused batch once.
+        assert!(b.offer_packets(&[(0, pkt(3, 80, u64::MAX))]).is_err());
+        assert_eq!(b.rejected_events(), 2);
         // Within the horizon is fine.
         b.offer_packet(0, &pkt(3, 80, 2015 * 300)).unwrap();
         assert_eq!(b.open_bins(), 2);
+        assert_eq!(b.rejected_events(), 2);
     }
 
     #[test]

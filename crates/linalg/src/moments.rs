@@ -56,11 +56,18 @@ impl MomentAccumulator {
     }
 
     /// Builds an accumulator by pushing every row of `x`.
+    ///
+    /// # Panics
+    ///
+    /// On a non-finite value in `x` — the streaming [`push`](Self::push)
+    /// surfaces that as an error; this eager convenience has no error
+    /// channel, and silently skipping the row would be worse.
     pub fn from_rows(x: &Mat) -> Self {
         let mut acc = MomentAccumulator::new(x.cols());
         for row in x.row_iter() {
-            // Width always matches `x.cols()`.
-            let _ = acc.push(row);
+            // Width always matches `x.cols()`; only a non-finite value
+            // can be rejected.
+            acc.push(row).expect("non-finite value in row");
         }
         acc
     }
@@ -84,7 +91,12 @@ impl MomentAccumulator {
     ///
     /// # Errors
     ///
-    /// [`LinalgError::ShapeMismatch`] if `row.len() != self.dim()`.
+    /// [`LinalgError::ShapeMismatch`] if `row.len() != self.dim()`;
+    /// [`LinalgError::Domain`] if the row carries a NaN or infinite
+    /// value. The rejection happens before any state is touched: one
+    /// absorbed NaN would make the mean, the comoment, and **every later
+    /// Chan [`merge`](Self::merge) of this accumulator** non-finite, with
+    /// nothing downstream able to tell when the poisoning happened.
     pub fn push(&mut self, row: &[f64]) -> Result<(), LinalgError> {
         let n = self.dim();
         if row.len() != n {
@@ -92,6 +104,11 @@ impl MomentAccumulator {
                 op: "moment push",
                 lhs: (1, row.len()),
                 rhs: (1, n),
+            });
+        }
+        if !row.iter().all(|v| v.is_finite()) {
+            return Err(LinalgError::Domain {
+                what: "non-finite value in moment push",
             });
         }
         self.count += 1;
@@ -517,5 +534,30 @@ mod tests {
         assert_eq!(acc.mean(), &[4.0, -1.0]);
         let cov = acc.covariance().unwrap();
         assert!(cov.as_slice().iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn non_finite_rows_are_rejected_without_touching_state() {
+        let mut acc = MomentAccumulator::new(2);
+        acc.push(&[1.0, 2.0]).unwrap();
+        let before_mean = acc.mean().to_vec();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                acc.push(&[bad, 0.0]),
+                Err(LinalgError::Domain { .. })
+            ));
+        }
+        // The rejected rows left count, mean, and comoment untouched —
+        // the accumulator keeps working as if they were never offered.
+        assert_eq!(acc.count(), 1);
+        assert_eq!(acc.mean(), before_mean.as_slice());
+        acc.push(&[3.0, 4.0]).unwrap();
+        assert_eq!(acc.mean(), &[2.0, 3.0]);
+        assert!(acc
+            .covariance()
+            .unwrap()
+            .as_slice()
+            .iter()
+            .all(|v| v.is_finite()));
     }
 }

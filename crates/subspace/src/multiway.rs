@@ -551,12 +551,22 @@ impl MultiwayFitter {
     }
 
     /// Absorbs one raw (un-normalized) unfolded row of length `4p`.
+    ///
+    /// # Errors
+    ///
+    /// `BadInput` on a wrong row length or a non-finite value — rejected
+    /// before the energy sums are touched, so a refused row leaves the
+    /// fitter exactly as it was (energies and moments always describe
+    /// the same row set).
     pub fn push_row(&mut self, raw: &[f64]) -> Result<(), SubspaceError> {
         let p = self.n_flows;
         if raw.len() != 4 * p {
             return Err(SubspaceError::BadInput(
                 "row length must be 4p (one value per feature per flow)",
             ));
+        }
+        if !raw.iter().all(|v| v.is_finite()) {
+            return Err(SubspaceError::BadInput("non-finite value in unfolded row"));
         }
         for (k, e) in self.energies.iter_mut().enumerate() {
             *e += raw[k * p..(k + 1) * p].iter().map(|v| v * v).sum::<f64>();

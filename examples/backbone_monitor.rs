@@ -21,6 +21,10 @@
 //!    alarms on everything; the drift trigger fires; the refitted model
 //!    (trained on a window that already contains post-drift bins, with
 //!    anomalous ones excluded by the trimming rounds) goes quiet again.
+//! 4. **Fault injection** — collector outages come from a shared seeded
+//!    [`FaultPlan`] applied at the packet seam by a [`FaultInjector`]
+//!    (the same harness the chaos tests drive), so the injected ground
+//!    truth is a queryable schedule rather than ad-hoc RNG draws.
 //!
 //! ```sh
 //! cargo run --release --example backbone_monitor -- \
@@ -42,11 +46,9 @@ use entromine::entropy::StreamConfig;
 use entromine::net::Topology;
 use entromine::synth::{DatasetConfig, InjectedAnomaly, Schedule, SyntheticNetwork};
 use entromine::{
-    DiagnoserConfig, Monitor, MonitorConfig, MonitorState, RefitOutcome, RefitTrigger,
-    ThresholdPolicy, Verdict,
+    DiagnoserConfig, FaultInjector, FaultPlan, Monitor, MonitorConfig, MonitorState, RefitOutcome,
+    RefitTrigger, ThresholdPolicy, Verdict,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Bins per monitored day (5-minute bins).
@@ -180,33 +182,43 @@ fn main() {
             chunk_bins: 72,
             refit_interval: Some(DAY),
             drift: Some(Default::default()),
+            // Flag verdicts as stale once the serving model is more than
+            // a day past its refit cadence — only reachable when refits
+            // keep failing, which is exactly when an operator should see
+            // the Degraded state.
+            staleness_budget: Some(2 * DAY),
+            ..Default::default()
         },
     )
     .expect("monitor");
 
-    let mut outage_rng = StdRng::seed_from_u64(args.seed ^ 0xFA11);
+    // Fault injection: dead-collector outages as a seeded schedule. The
+    // plan is data — `drop_bins()` below is the injected ground truth the
+    // alert classifier checks against, instead of replaying RNG draws.
+    let outage_plan =
+        FaultPlan::random_outages(args.seed ^ 0xFA11, total_bins, args.missing_chance);
+    let dropped_bins = outage_plan.drop_bins();
+    let mut injector = FaultInjector::new(&outage_plan);
+
     let mut alerts: Vec<(usize, Outcome)> = Vec::new();
     let mut packets_offered: u64 = 0;
-    let mut dropped_bins: Vec<usize> = Vec::new();
     let mut refit_log: Vec<(usize, RefitTrigger)> = Vec::new();
     let mut batch = Vec::new();
     let started = Instant::now();
 
     for bin in 0..total_bins {
         let source = if bin >= drift_bin { &drifted } else { &net };
-        // Fault injection: a dead collector exports nothing for the bin.
-        let blanked = outage_rng.random::<f64>() < args.missing_chance;
-        if blanked {
-            dropped_bins.push(bin);
-        } else {
-            batch.clear();
-            for flow in 0..p {
-                for pkt in source.cell_packets(bin, flow, &live_truth) {
-                    batch.push((flow, pkt));
-                }
+        batch.clear();
+        for flow in 0..p {
+            for pkt in source.cell_packets(bin, flow, &live_truth) {
+                batch.push((flow, pkt));
             }
-            packets_offered += batch.len() as u64;
-            grid.offer_packets(&batch).expect("offer batch");
+        }
+        // A dropped bin yields no deliveries; the watermark still seals
+        // it as a zero row for the monitor to flag.
+        for delivery in injector.deliver_batch(bin, &batch) {
+            packets_offered += delivery.packets.len() as u64;
+            grid.offer_packets(&delivery.packets).expect("offer batch");
         }
         // The first packet of the next bin advances the event-time
         // watermark past this bin's boundary and seals it.
@@ -306,10 +318,21 @@ fn main() {
         truth_bins
     );
     println!(
-        "   grid: {} late events dropped, {} bins finalized, watermark at {}s",
+        "   grid: {} late events dropped, {} rejected offers, {} bins finalized, watermark at {}s",
         grid.late_events(),
+        grid.rejected_events(),
         grid.finalized_bins(),
         grid.watermark()
+    );
+    let health = monitor.health();
+    println!(
+        "   health: {:?}, model {} bins old (budget {:?}), {} quarantined bins, {}/{} refits failed",
+        health.state,
+        health.model_age_bins,
+        health.staleness_budget,
+        health.quarantined_bins,
+        health.failed_refits,
+        health.refits + health.failed_refits,
     );
     println!(
         "   (pre-drift false alarms cluster where the weekly rate rhythm outruns the training\n\

@@ -72,6 +72,7 @@ fn monitor_config() -> MonitorConfig {
         // Clean traffic: isolate the scheduled trigger so refit bins are
         // deterministic for the offline replication below.
         drift: None,
+        ..Default::default()
     }
 }
 
